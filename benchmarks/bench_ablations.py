@@ -1,0 +1,91 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each bench sweeps one BitWave design parameter and asserts the
+directionality the architecture narrative predicts.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_group_size(benchmark):
+    results = benchmark.pedantic(
+        ablations.group_size_ablation, rounds=1, iterations=1)
+    print()
+    for g, v in results.items():
+        print(f"G={g}: CR={v['cr']:.3f} "
+              f"cycles/group={v['mean_cycles_per_group']:.3f}")
+    # Larger groups amortize the index but skip fewer columns.
+    cycles = [results[g]["mean_cycles_per_group"] for g in (8, 16, 32)]
+    assert cycles == sorted(cycles)
+    # All supported sizes compress (the layer-wise tunability premise).
+    for g in (8, 16, 32):
+        assert results[g]["cr"] > 1.0
+
+
+def test_ablation_sync_domain(benchmark):
+    results = benchmark.pedantic(
+        ablations.sync_domain_ablation, rounds=1, iterations=1)
+    print()
+    print({m: round(v, 3) for m, v in results.items()})
+    # Effective cycles/group grow monotonically with the lockstep
+    # domain and stay within [mean, 8].
+    values = [results[m] for m in sorted(results)]
+    assert values == sorted(values)
+    assert values[-1] <= 8.0
+
+
+def test_ablation_dram_bandwidth(benchmark):
+    results = benchmark.pedantic(
+        ablations.dram_bandwidth_ablation, rounds=1, iterations=1)
+    print()
+    for w, v in results.items():
+        print(f"{w} b/c: {v['total_cycles'] / 1e6:.3f} Mcycles, "
+              f"DRAM share {v['dram_fraction']:.2f}")
+    widths = sorted(results)
+    cycles = [results[w]["total_cycles"] for w in widths]
+    shares = [results[w]["dram_fraction"] for w in widths]
+    # More bandwidth -> fewer cycles, smaller DRAM share: BERT-Base at
+    # token size 4 is memory-traffic bound at the paper's design point.
+    assert cycles == sorted(cycles, reverse=True)
+    assert shares == sorted(shares, reverse=True)
+    assert shares[0] > 0.5  # DRAM dominated at 64 b/c
+
+
+def test_ablation_bitflip_depth(benchmark):
+    results = benchmark.pedantic(
+        ablations.bitflip_depth_ablation, rounds=1, iterations=1)
+    print()
+    for z, v in results.items():
+        print(f"z={z}: speedup={v['speedup']:.3f} CR={v['cr']:.3f}")
+    speedups = [results[z]["speedup"] for z in sorted(results)]
+    crs = [results[z]["cr"] for z in sorted(results)]
+    assert speedups == sorted(speedups)
+    assert crs == sorted(crs)
+    # Deep flips triple BERT-Base throughput (the Fig. 13 BF lever).
+    assert results[6]["speedup"] > 2.5
+
+
+def test_ablation_bert_tokens(benchmark):
+    results = benchmark.pedantic(
+        ablations.bert_token_ablation, rounds=1, iterations=1)
+    print()
+    for t, v in results.items():
+        print(f"tokens={t}: speedup vs HUAA = {v['speedup_vs_huaa']:.3f}")
+    # BitWave keeps a consistent advantage across token counts.
+    for v in results.values():
+        assert v["speedup_vs_huaa"] > 1.5
+    # Cycles grow with tokens for both designs.
+    bw = [results[t]["bitwave_cycles"] for t in sorted(results)]
+    assert bw == sorted(bw)
+
+
+def test_ablation_dense_precision(benchmark):
+    results = benchmark.pedantic(
+        ablations.dense_precision_ablation, rounds=1, iterations=1)
+    print()
+    print({b: round(s, 3) for b, s in results.items()})
+    # Dense-mode precision scaling approaches proportional speedup
+    # (bounded by the non-compute latency terms).
+    assert results[8] == 1.0
+    assert results[4] > 1.7
+    assert results[2] > results[4] > results[6]

@@ -1,0 +1,49 @@
+"""Throughput microbenchmarks of the core BCS operations.
+
+These use pytest-benchmark's statistical rounds (unlike the one-shot
+figure benches) to track the library's own performance: compression,
+decompression, column statistics and Bit-Flip on a 1M-weight tensor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bitcolumn import column_sparsity
+from repro.core.bitflip import flip_layer
+from repro.core.compression import bcs_compress, bcs_decompress
+from repro.sparsity.stats import compute_layer_stats
+from repro.utils.rng import seeded_rng
+
+
+@pytest.fixture(scope="module")
+def big_tensor():
+    rng = seeded_rng("bench-core")
+    w = np.clip(np.round(rng.laplace(0, 9, 1 << 20)), -127, 127)
+    return w.astype(np.int8)
+
+
+def test_bcs_compress_1m(benchmark, big_tensor):
+    compressed = benchmark(bcs_compress, big_tensor, 16)
+    assert compressed.compression_ratio > 1.0
+
+
+def test_bcs_decompress_1m(benchmark, big_tensor):
+    compressed = bcs_compress(big_tensor, 16)
+    restored = benchmark(bcs_decompress, compressed)
+    assert np.array_equal(restored, big_tensor)
+
+
+def test_column_sparsity_1m(benchmark, big_tensor):
+    sparsity = benchmark(column_sparsity, big_tensor, 16, "sm")
+    assert 0.0 < sparsity < 1.0
+
+
+def test_layer_stats_1m(benchmark, big_tensor):
+    stats = benchmark(compute_layer_stats, big_tensor)
+    assert stats.weight_count == big_tensor.size
+
+
+def test_bitflip_1m(benchmark, big_tensor):
+    result = benchmark.pedantic(
+        flip_layer, args=(big_tensor, 5, 16), rounds=1, iterations=1)
+    assert result.min_zero_columns >= 5

@@ -1,0 +1,15 @@
+"""Fig. 1 bench: value vs bit sparsity across the four Int8 networks."""
+
+from repro.experiments import fig01_sparsity
+
+
+def test_fig01_sparsity(benchmark):
+    results = benchmark.pedantic(fig01_sparsity.run, rounds=1, iterations=1)
+    print()
+    fig01_sparsity.main()
+    for net, summary in results.items():
+        # Paper bands: SR(2C) in 5.67-32.5, SR(SM) in 8.73-47.5 (we
+        # accept the band's low edge with a small tolerance).
+        assert summary["sr_2c"] > 5.0, net
+        assert summary["sr_sm"] > summary["sr_2c"], net
+        assert summary["bit_sparsity_sm"] > 0.6, net

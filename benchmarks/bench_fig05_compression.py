@@ -1,0 +1,21 @@
+"""Fig. 5 bench: CR vs group size; BCS vs ZRE vs CSR."""
+
+from repro.experiments import fig05_compression
+
+
+def test_fig05_compression(benchmark):
+    results = benchmark.pedantic(
+        fig05_compression.run, rounds=1, iterations=1)
+    print()
+    fig05_compression.main()
+    bcs = results["bcs"]
+    # Ideal CR monotonically decreases with G.
+    ideals = [bcs[g]["ideal"] for g in sorted(bcs)]
+    assert ideals == sorted(ideals, reverse=True)
+    # G=1's real CR collapses under its index cost.
+    assert bcs[1]["real"] < 1.0
+    assert bcs[8]["real"] > bcs[1]["real"]
+    # BCS (hardware group sizes) beats the value-sparsity formats.
+    for g in (8, 16, 32):
+        assert bcs[g]["real"] > results["zre"]["real"]
+        assert bcs[g]["real"] > results["csr"]["real"]

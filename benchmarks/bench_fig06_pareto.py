@@ -1,0 +1,29 @@
+"""Fig. 6(e)-(h) bench: CR vs accuracy -- PTQ vs SM vs SM+Bit-Flip."""
+
+from repro.experiments import fig06_pareto
+
+
+def test_fig06_pareto_resnet18(benchmark):
+    series = benchmark.pedantic(
+        fig06_pareto.run,
+        kwargs=dict(network="resnet18", batch=8,
+                    zero_columns=(3, 4, 5), ptq_bits=(6, 4)),
+        rounds=1, iterations=1)
+    print()
+    for label, points in series.items():
+        print(label, [(round(cr, 2), round(f, 3)) for cr, f in points])
+
+    sm_cr, sm_fidelity = series["Int8+SM"][0]
+    # Lossless SM compression: fidelity exactly 1.0 at CR > 1.
+    assert sm_fidelity == 1.0
+    assert sm_cr > 1.0
+
+    # In the high-fidelity region (the paper's "negligible accuracy
+    # drop"), SM+BF reaches a strictly better CR than PTQ.
+    def best_cr(label):
+        qualifying = [cr for cr, fid in series[label] if fid >= 0.9]
+        return max(qualifying, default=0.0)
+
+    assert best_cr("Int8+SM+BF") > best_cr("Int8+PTQ")
+    # BF reaches ~2x CR at high fidelity (paper: 2.04x within 0.5%).
+    assert best_cr("Int8+SM+BF") > 1.5

@@ -1,0 +1,36 @@
+"""Fig. 6(a)-(d) bench: layer-wise flip sensitivity (tiny presets)."""
+
+from repro.experiments import fig06_sensitivity
+
+#: A weight-light early layer and weight-heavy late layers.
+RESNET_LAYERS = ["layer1.0.conv1", "layer4.1.conv2", "fc"]
+
+
+def test_fig06_sensitivity_resnet18(benchmark):
+    curves = benchmark.pedantic(
+        fig06_sensitivity.run,
+        kwargs=dict(network="resnet18", layers=RESNET_LAYERS,
+                    zero_columns=(2, 4, 6), batch=8),
+        rounds=1, iterations=1)
+    print()
+    for layer, scores in curves.items():
+        print(layer, {z: round(s, 3) for z, s in scores.items()})
+    for layer, scores in curves.items():
+        # Fidelity degrades monotonically (weakly) with deeper flips.
+        ordered = [scores[z] for z in (2, 4, 6)]
+        assert ordered[0] >= ordered[-1] - 0.05, layer
+        # Shallow flips are near-lossless (paper: <4 columns negligible).
+        assert scores[2] > 0.8, layer
+
+
+def test_fig06_sensitivity_cnn_lstm(benchmark):
+    curves = benchmark.pedantic(
+        fig06_sensitivity.run,
+        kwargs=dict(network="cnn_lstm", layers=["LSTM.0", "LSTM.1"],
+                    zero_columns=(2, 5), batch=4),
+        rounds=1, iterations=1)
+    print()
+    for layer, scores in curves.items():
+        print(layer, {z: round(s, 3) for z, s in scores.items()})
+        assert scores[2] >= scores[5] - 0.05
+        assert scores[2] > 3.5  # PESQ proxy stays high for shallow flips

@@ -1,0 +1,23 @@
+"""Fig. 9 bench: PE utilization of fixed SUs across layer classes."""
+
+from repro.experiments import fig09_utilization
+
+
+def test_fig09_utilization(benchmark):
+    results = benchmark.pedantic(
+        fig09_utilization.run, rounds=1, iterations=1)
+    print()
+    fig09_utilization.main()
+    cases = list(fig09_utilization.CASES)
+
+    # No fixed SU exceeds 80% utilization on every workload class.
+    for name, values in results.items():
+        assert min(values[c] for c in cases) < 0.8, name
+
+    # The 4096-lane array under-utilizes at least as badly as the
+    # 512-PE array for each parallelism style.
+    for style in ("XY", "CK", "XFx"):
+        big = results[f"{style}-4096"]
+        small = results[f"{style}-512"]
+        for case in cases:
+            assert big[case] <= small[case] + 1e-9, (style, case)

@@ -1,0 +1,16 @@
+"""Fig. 12 (left) bench: the benchmark workload table."""
+
+import pytest
+
+from repro.experiments import fig12_workloads
+
+
+def test_fig12_workloads(benchmark):
+    results = benchmark.pedantic(fig12_workloads.run, rounds=1, iterations=1)
+    print()
+    fig12_workloads.main()
+    assert results["resnet18"]["mparams"] == pytest.approx(11.7, rel=0.05)
+    assert results["mobilenetv2"]["mparams"] == pytest.approx(3.4, rel=0.15)
+    assert results["bert_base"]["mparams"] == pytest.approx(85, rel=0.02)
+    # CNN-LSTM: LSTM-dominated weight budget of a few Mparams.
+    assert 2 < results["cnn_lstm"]["mparams"] < 8

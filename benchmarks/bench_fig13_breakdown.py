@@ -1,0 +1,28 @@
+"""Fig. 13 bench: BitWave speedup breakdown (Dense -> DF -> SM -> BF)."""
+
+from repro.experiments import fig13_breakdown
+
+
+def test_fig13_breakdown(benchmark, sota_grid):
+    results = benchmark.pedantic(fig13_breakdown.run, rounds=1, iterations=1)
+    print()
+    fig13_breakdown.main()
+
+    for net, speedups in results.items():
+        # Each added technique is monotone (never slows down).
+        assert speedups["Dense"] == 1.0
+        assert speedups["+DF"] >= 1.0 - 1e-9
+        assert speedups["+DF+SM"] >= speedups["+DF"] - 1e-9
+        assert speedups["+DF+SM+BF"] >= speedups["+DF+SM"] - 1e-9
+
+    # Dataflow shines on MobileNetV2 (paper: 2.57x).
+    assert results["mobilenetv2"]["+DF"] > 2.0
+    # DF barely moves CNN-LSTM / BERT (less diverse layer shapes).
+    assert results["cnn_lstm"]["+DF"] < 1.3
+    assert results["bert_base"]["+DF"] < 1.3
+    # SM alone is marginal on BERT (paper: 1.06x) ...
+    sm_gain = results["bert_base"]["+DF+SM"] / results["bert_base"]["+DF"]
+    assert 1.0 <= sm_gain < 1.3
+    # ... but Bit-Flip unlocks a large further gain (paper: 2.67x).
+    bf_gain = results["bert_base"]["+DF+SM+BF"] / results["bert_base"]["+DF+SM"]
+    assert bf_gain > 1.6

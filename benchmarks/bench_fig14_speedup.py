@@ -1,0 +1,21 @@
+"""Fig. 14 bench: speedup vs SotA accelerators (normalized to SCNN)."""
+
+from repro.experiments import fig14_speedup
+
+
+def test_fig14_speedup(benchmark, sota_grid):
+    results = benchmark.pedantic(fig14_speedup.run, rounds=1, iterations=1)
+    print()
+    fig14_speedup.main()
+
+    for net, speedups in results.items():
+        # BitWave wins on every benchmark.
+        assert speedups["BitWave"] == max(speedups.values()), net
+
+    # Paper: 10.1x / 13.25x vs SCNN on the low-value-sparsity nets.
+    assert results["cnn_lstm"]["BitWave"] > 8.0
+    assert results["bert_base"]["BitWave"] > 8.0
+
+    # Paper: BitWave outperforms Bitlet clearly on every benchmark.
+    for net, speedups in results.items():
+        assert speedups["BitWave"] / speedups["Bitlet"] > 1.4, net

@@ -1,0 +1,20 @@
+"""Fig. 16 bench: BitWave energy breakdown including off-chip DRAM."""
+
+from repro.experiments import fig16_energy_breakdown
+
+
+def test_fig16_energy_breakdown(benchmark, sota_grid):
+    results = benchmark.pedantic(
+        fig16_energy_breakdown.run, rounds=1, iterations=1)
+    print()
+    fig16_energy_breakdown.main()
+
+    for net, shares in results.items():
+        assert abs(sum(shares.values()) - 1.0) < 1e-9, net
+
+    # Paper: DRAM dominates, especially for weight-intensive networks.
+    for net in ("resnet18", "cnn_lstm", "bert_base"):
+        assert results[net]["dram"] > 0.5, net
+    # BERT (85M weights at token size 4) is the most DRAM-bound.
+    assert results["bert_base"]["dram"] == max(
+        results[net]["dram"] for net in results)

@@ -1,0 +1,20 @@
+"""Fig. 17 bench: energy efficiency vs SotA (normalized to SCNN)."""
+
+from repro.experiments import fig17_efficiency
+
+
+def test_fig17_efficiency(benchmark, sota_grid):
+    results = benchmark.pedantic(
+        fig17_efficiency.run, rounds=1, iterations=1)
+    print()
+    fig17_efficiency.main()
+
+    for net, effs in results.items():
+        # BitWave is the most efficient on every benchmark.
+        assert effs["BitWave"] == max(effs.values()), net
+
+    # Paper: 7.71x vs SCNN and 2.04x vs HUAA on Bert-Base; we assert
+    # the winner and the HUAA factor band.
+    bert = results["bert_base"]
+    assert bert["BitWave"] > 2.0
+    assert 1.5 < bert["BitWave"] / bert["HUAA"] < 3.0

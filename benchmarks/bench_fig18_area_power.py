@@ -1,0 +1,24 @@
+"""Fig. 18 bench: BitWave area and power breakdown."""
+
+import pytest
+
+from repro.experiments import fig18_area_power
+
+
+def test_fig18_area_power(benchmark):
+    results = benchmark.pedantic(
+        fig18_area_power.run, rounds=1, iterations=1)
+    print()
+    fig18_area_power.main()
+
+    area = results["area_mm2"]
+    power = results["power_mw"]
+    assert sum(area.values()) == pytest.approx(1.138, rel=1e-6)
+    assert sum(power.values()) == pytest.approx(17.56, rel=1e-6)
+
+    # Paper shares: SRAM 55.08% of area; PE array 57.6% of power;
+    # dispatcher 10.8% area / 24.4% power.
+    assert area["sram"] / 1.138 == pytest.approx(0.5508, abs=1e-3)
+    assert power["pe_array"] / 17.56 == pytest.approx(0.576, abs=1e-3)
+    assert area["data_dispatcher"] / 1.138 == pytest.approx(0.108, abs=1e-3)
+    assert power["data_dispatcher"] / 17.56 == pytest.approx(0.244, abs=1e-3)

@@ -1,0 +1,23 @@
+"""Table III bench: SotA specification comparison."""
+
+import pytest
+
+from repro.experiments import tab3_sota
+
+
+def test_tab3_sota(benchmark):
+    rows = benchmark.pedantic(tab3_sota.run, rounds=1, iterations=1)
+    print()
+    tab3_sota.main()
+
+    bitwave = rows["BitWave"]
+    assert bitwave["tech_nm"] == 16
+    assert bitwave["area_mm2"] == pytest.approx(1.138)
+    assert bitwave["power_w"] == pytest.approx(0.01756)
+    assert bitwave["peak_gops"] == pytest.approx(215.6, rel=0.01)
+    assert bitwave["tops_per_w"] == pytest.approx(12.21, rel=0.01)
+
+    # BitWave has the smallest area among the dedicated accelerators
+    # at its own node, and the best energy efficiency entry we model.
+    assert bitwave["area_mm2"] < rows["SCNN"]["area_mm2"]
+    assert bitwave["area_mm2"] < rows["HUAA"]["area_mm2"]

@@ -1,0 +1,20 @@
+"""Table IV bench: the three PE types' area/power."""
+
+import pytest
+
+from repro.experiments import tab4_pe_types
+
+
+def test_tab4_pe_types(benchmark):
+    results = benchmark.pedantic(tab4_pe_types.run, rounds=1, iterations=1)
+    print()
+    tab4_pe_types.main()
+
+    bcse = results["bit_column_serial"]
+    serial = results["bit_serial"]
+    # Paper: 1.26x bit-parallel area, 1.25x less power; the plain
+    # bit-serial PE is the worst of both.
+    assert bcse["area_ratio"] == pytest.approx(1.26, abs=0.01)
+    assert 1 / bcse["power_ratio"] == pytest.approx(1.25, abs=0.01)
+    assert serial["area_ratio"] > 4.0
+    assert serial["power_ratio"] > 2.5

@@ -1,0 +1,12 @@
+"""Section V-B validation bench: analytical model vs simulator (<6%)."""
+
+from repro.experiments import validation_sim_vs_model
+
+
+def test_validation_sim_vs_model(benchmark):
+    results = benchmark.pedantic(
+        validation_sim_vs_model.run, rounds=1, iterations=1)
+    print()
+    validation_sim_vs_model.main()
+    for row in results:
+        assert row["deviation"] < 0.06, row["layer"]

@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one paper table/figure.  Experiment harnesses
+that evaluate the full 6-accelerator x 4-network grid are expensive, so
+they run with ``benchmark.pedantic(rounds=1)``; the cheap core-operation
+benches use normal statistical rounds.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def sota_grid():
+    """Force the shared evaluation cache once per session."""
+    from repro.experiments.common import all_sota_evaluations
+
+    return all_sota_evaluations()

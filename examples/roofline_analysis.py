@@ -1,0 +1,47 @@
+"""Roofline analysis: why Bit-Flip is BERT's lever but not ResNet18's.
+
+Places every layer of ResNet18 and BERT-Base (token size 4) on the
+modelled platform's roofline, then shows how BCS compression (CR ~2.3x
+after Bit-Flip) shifts the memory-bound BERT layers toward the ridge --
+the mechanism behind Fig. 13's 2.67x Bit-Flip gain on BERT-Base versus
+its modest gain on ResNet18.
+
+Run:  python examples/roofline_analysis.py
+"""
+
+from repro.model.roofline import network_roofline
+from repro.utils.tables import format_table
+from repro.workloads.nets import bert_base_layers, resnet18_layers
+
+
+def summarize(label: str, points) -> list:
+    memory_bound = [p for p in points if p.memory_bound]
+    intensities = sorted(p.arithmetic_intensity for p in points)
+    median = intensities[len(intensities) // 2]
+    return [label, len(points), len(memory_bound),
+            median, points[0].ridge_point]
+
+
+def main() -> None:
+    rows = [
+        summarize("ResNet18", network_roofline(resnet18_layers())),
+        summarize("BERT-Base @4 tokens",
+                  network_roofline(bert_base_layers())),
+        summarize("BERT-Base @4, CR=2.3x",
+                  network_roofline(bert_base_layers(), weight_cr=2.3)),
+        summarize("BERT-Base @256 tokens",
+                  network_roofline(bert_base_layers(tokens=256))),
+    ]
+    print(format_table(
+        ["workload", "layers", "memory-bound",
+         "median intensity (MAC/B)", "ridge (MAC/B)"],
+        rows,
+        title="Roofline placement on the modelled BitWave platform",
+    ))
+    print("\nReading: BERT at token size 4 sits far left of the ridge, so"
+          "\ncompression (Bit-Flip's CR) is worth cycles; ResNet18 sits"
+          "\nright of it, so only column *skipping* helps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""The six modelled accelerators (Section V-B, Fig. 12 right)."""
+
+from repro.accelerators.base import (
+    Accelerator,
+    LayerEvaluation,
+    NetworkEvaluation,
+)
+from repro.accelerators.bitlet import Bitlet
+from repro.accelerators.bitwave import (
+    BitWave,
+    DEFAULT_BITFLIP_TARGETS,
+    bitflip_targets_for,
+)
+from repro.accelerators.huaa import HUAA
+from repro.accelerators.pragmatic import Pragmatic
+from repro.accelerators.scnn import SCNN
+from repro.accelerators.stripes import Stripes
+
+#: The Fig. 14/15/17 comparison set, in the paper's plotting order.
+SOTA_ACCELERATORS = ("SCNN", "Stripes", "Pragmatic", "Bitlet", "HUAA", "BitWave")
+
+
+def build_accelerator(name: str) -> Accelerator:
+    """Factory for the comparison benchmarks (BitWave fully enabled)."""
+    builders = {
+        "SCNN": SCNN,
+        "Stripes": Stripes,
+        "Pragmatic": Pragmatic,
+        "Bitlet": Bitlet,
+        "HUAA": HUAA,
+        "BitWave": BitWave,
+    }
+    if name not in builders:
+        raise ValueError(f"unknown accelerator {name!r}; one of {SOTA_ACCELERATORS}")
+    return builders[name]()
+
+
+__all__ = [
+    "Accelerator",
+    "BitWave",
+    "Bitlet",
+    "DEFAULT_BITFLIP_TARGETS",
+    "HUAA",
+    "LayerEvaluation",
+    "NetworkEvaluation",
+    "Pragmatic",
+    "SCNN",
+    "SOTA_ACCELERATORS",
+    "Stripes",
+    "bitflip_targets_for",
+    "build_accelerator",
+]

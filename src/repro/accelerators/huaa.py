@@ -1,0 +1,29 @@
+"""HUAA: the Hardware-Utilization-Aware Accelerator (ISSCC'23 [9]).
+
+Bit-parallel, 512 8x8 MACs, *dynamic dataflow* (the trait BitWave
+inherits) but no sparsity handling of any kind.  Its SU set spans the
+three parallelism styles the paper's Fig. 9 discusses: CK-parallel for
+deep layers, XY-parallel for wide layers, and a channel-per-lane mapping
+for depthwise convolutions.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.base import Accelerator
+from repro.model.mapping import SpatialUnrolling
+
+HUAA_SUS = (
+    SpatialUnrolling("CK-32x16", {"K": 32, "C": 16}, fold_reduction=True),
+    SpatialUnrolling("CK-16x32", {"K": 16, "C": 32}, fold_reduction=True),
+    SpatialUnrolling("CK-64x8", {"K": 64, "C": 8}, fold_reduction=True),
+    SpatialUnrolling("CKX-16x8x4", {"K": 16, "C": 8, "OX": 4},
+                     fold_reduction=True),
+    SpatialUnrolling("XY-16x8", {"OX": 16, "OY": 8, "K": 4}),
+    SpatialUnrolling("XFx-8x4", {"OX": 8, "FX": 4, "K": 16}),
+    SpatialUnrolling("DW-64x8", {"K": 64, "OX": 8}),
+)
+
+
+class HUAA(Accelerator):
+    name = "HUAA"
+    sus = HUAA_SUS

@@ -1,0 +1,55 @@
+"""The paper's primary contribution: BCS, SM codecs, compression, Bit-Flip."""
+
+from repro.core.bitcolumn import (
+    bit_sparsity,
+    column_sparsity,
+    group_weights,
+    nonzero_column_counts,
+    ungroup_weights,
+    value_sparsity,
+    zero_column_mask,
+)
+from repro.core.bitflip import FlipResult, flip_group, flip_layer
+from repro.core.compression import (
+    BCSCompressed,
+    bcs_compress,
+    bcs_compression_ratio,
+    bcs_decompress,
+    csr_compression_ratio,
+    zre_compression_ratio,
+)
+from repro.core.pareto import pareto_front
+from repro.core.pipeline import BitWavePipeline
+from repro.core.search import GreedySearchResult, greedy_bitflip_search
+from repro.core.signmag import (
+    from_sign_magnitude,
+    sm_bitplanes,
+    to_sign_magnitude,
+    twos_complement_bitplanes,
+)
+
+__all__ = [
+    "BCSCompressed",
+    "BitWavePipeline",
+    "FlipResult",
+    "GreedySearchResult",
+    "bcs_compress",
+    "bcs_compression_ratio",
+    "bcs_decompress",
+    "bit_sparsity",
+    "column_sparsity",
+    "csr_compression_ratio",
+    "flip_group",
+    "flip_layer",
+    "from_sign_magnitude",
+    "greedy_bitflip_search",
+    "group_weights",
+    "nonzero_column_counts",
+    "pareto_front",
+    "sm_bitplanes",
+    "to_sign_magnitude",
+    "twos_complement_bitplanes",
+    "ungroup_weights",
+    "value_sparsity",
+    "zero_column_mask",
+]

@@ -1,0 +1,131 @@
+"""Bit-Column Sparsity (BCS) statistics (paper Section III-A/III-B).
+
+A *column group* is a vector of ``G`` consecutive Int8 weights.  A *bit
+column* is one bit significance across all ``G`` weights of the group.
+A column is *zero* when every weight in the group has a zero bit at that
+significance; zero columns can be skipped by the BitWave compute engine
+and elided from storage by BCS compression.
+
+Grouping follows the paper: weights of one kernel are grouped along
+consecutive input channels (the ``C`` dimension), because the BitWave BCE
+spatially unrolls ``C`` along the bit column (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.signmag import sm_bitplanes, twos_complement_bitplanes
+
+#: Binary formats understood by the statistics functions.
+FORMATS = ("sm", "2c")
+
+
+def _bitplanes(weights: np.ndarray, fmt: str) -> np.ndarray:
+    if fmt == "sm":
+        return sm_bitplanes(weights, saturate=True)
+    if fmt == "2c":
+        return twos_complement_bitplanes(weights)
+    raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+
+
+def group_weights(weights: np.ndarray, group_size: int) -> np.ndarray:
+    """Reshape a weight tensor into column groups of ``group_size``.
+
+    The tensor is flattened in C-order and zero-padded up to a multiple of
+    ``group_size`` (zero padding only ever *adds* zero bits, so statistics
+    are conservative).  For convolution weights callers should pass an
+    array already laid out with the input-channel dimension innermost
+    (see :func:`repro.workloads.spec.group_axis_layout`).
+
+    Returns an array of shape ``(n_groups, group_size)`` of dtype int8.
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    flat = np.asarray(weights, dtype=np.int8).reshape(-1)
+    pad = (-flat.size) % group_size
+    if pad:
+        flat = np.concatenate([flat, np.zeros(pad, dtype=np.int8)])
+    return flat.reshape(-1, group_size)
+
+
+def ungroup_weights(
+    groups: np.ndarray, original_shape: tuple[int, ...]
+) -> np.ndarray:
+    """Inverse of :func:`group_weights`: drop padding and restore shape."""
+    size = int(np.prod(original_shape))
+    flat = np.asarray(groups, dtype=np.int8).reshape(-1)
+    if flat.size < size:
+        raise ValueError(
+            f"groups hold {flat.size} weights, need {size} for {original_shape}"
+        )
+    return flat[:size].reshape(original_shape)
+
+
+def zero_column_mask(groups: np.ndarray, fmt: str = "sm") -> np.ndarray:
+    """Boolean mask of zero bit-columns per group.
+
+    Parameters
+    ----------
+    groups:
+        ``(n_groups, G)`` int8 array from :func:`group_weights`.
+    fmt:
+        ``"sm"`` (sign-magnitude, the BitWave format) or ``"2c"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array of shape ``(n_groups, 8)``; column 0 is the MSB
+        (sign plane in SM).  ``True`` marks a column that is zero across
+        the whole group.
+    """
+    groups = np.asarray(groups)
+    if groups.ndim != 2:
+        raise ValueError(f"expected (n_groups, G) array, got shape {groups.shape}")
+    planes = _bitplanes(groups, fmt)  # (n, G, 8)
+    return ~planes.any(axis=1)
+
+
+def nonzero_column_counts(groups: np.ndarray, fmt: str = "sm") -> np.ndarray:
+    """Number of non-zero bit columns per group (0..8).
+
+    This is exactly the per-group cycle count of the BitWave compute
+    engine (the ZCIP ``Sync.ctr`` value) when the sign column is handled
+    like any other column request.
+    """
+    return 8 - zero_column_mask(groups, fmt).sum(axis=1)
+
+
+def column_sparsity(
+    weights: np.ndarray, group_size: int, fmt: str = "sm"
+) -> float:
+    """Fraction of zero bit-columns over all columns of a weight tensor.
+
+    This is the quantity the paper reports for ResNet18 conv2: 17% with
+    two's complement and 59% with sign-magnitude at G=4 (Fig. 4).
+    """
+    groups = group_weights(weights, group_size)
+    if groups.size == 0:
+        return 0.0
+    mask = zero_column_mask(groups, fmt)
+    return float(mask.mean())
+
+
+def bit_sparsity(weights: np.ndarray, fmt: str = "sm") -> float:
+    """Fraction of zero bits over all bits of a weight tensor (Fig. 1).
+
+    Equivalent to :func:`column_sparsity` with ``group_size=1``.
+    """
+    weights = np.asarray(weights, dtype=np.int8)
+    if weights.size == 0:
+        return 0.0
+    planes = _bitplanes(weights, fmt)
+    return float(1.0 - planes.mean())
+
+
+def value_sparsity(weights: np.ndarray) -> float:
+    """Fraction of exactly-zero values of a tensor (Fig. 1 baseline)."""
+    weights = np.asarray(weights)
+    if weights.size == 0:
+        return 0.0
+    return float((weights == 0).mean())

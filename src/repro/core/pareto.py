@@ -1,0 +1,33 @@
+"""Pareto-front extraction for compression-ratio vs. accuracy trade-offs.
+
+Used by the network-wide Bit-Flip optimization (paper Section III-D) to
+report the configurations that offer "a favorable trade-off between the
+number of zero columns for each flipped layer and the accuracy"
+(Fig. 6(e)-(h))."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    points: Sequence[tuple[float, float, T]]
+) -> list[tuple[float, float, T]]:
+    """Return the non-dominated subset of ``(cr, accuracy, payload)`` points.
+
+    Both objectives are maximized.  A point is kept when no other point
+    has strictly higher CR *and* at-least-equal accuracy, or strictly
+    higher accuracy *and* at-least-equal CR.  Output is sorted by
+    ascending CR (so accuracy is non-increasing along the front).
+    """
+    front: list[tuple[float, float, T]] = []
+    ordered = sorted(points, key=lambda p: (-p[0], -p[1]))
+    best_accuracy = float("-inf")
+    for cr, accuracy, payload in ordered:
+        if accuracy > best_accuracy:
+            front.append((cr, accuracy, payload))
+            best_accuracy = accuracy
+    front.reverse()
+    return front

@@ -1,0 +1,142 @@
+"""Greedy network-wide Bit-Flip strategy search (paper Algorithm 1).
+
+The search owns no model semantics: it operates on a mapping
+``layer name -> Int8 weight tensor`` plus an ``evaluate`` callback that
+scores a candidate weight set (top-1 accuracy, F1, PESQ proxy, ...).
+This keeps the algorithm reusable across the four benchmark networks and
+testable with synthetic evaluators.
+
+A *strategy* maps each layer to a per-group-size zero-column target
+``{layer: {8: z8, 16: z16, 32: z32}}``, exactly the ``S[layer][gs]``
+structure of the paper's pseudocode.  Applying a strategy flips every
+layer at each group size with a non-zero target, in increasing group-size
+order (the flips compose monotonically: each pass only adds zero
+columns at its own granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.bitflip import flip_layer
+
+GROUP_SIZES = (8, 16, 32)
+
+Strategy = dict[str, dict[int, int]]
+Weights = dict[str, np.ndarray]
+Evaluator = Callable[[Weights], float]
+
+
+def empty_strategy(layer_names: Mapping[str, np.ndarray] | list[str]) -> Strategy:
+    """An all-zeros strategy (no flipping) over the given layers."""
+    names = list(layer_names)
+    return {name: {gs: 0 for gs in GROUP_SIZES} for name in names}
+
+
+def apply_strategy(weights: Weights, strategy: Strategy) -> Weights:
+    """Flip every layer according to the strategy; untouched layers pass through."""
+    flipped: Weights = {}
+    for name, tensor in weights.items():
+        targets = strategy.get(name)
+        if not targets or not any(targets.values()):
+            flipped[name] = tensor
+            continue
+        current = tensor
+        for gs in sorted(targets):
+            z = targets[gs]
+            if z > 0:
+                current = flip_layer(current, z, gs).weights
+        flipped[name] = current
+    return flipped
+
+
+@dataclass
+class GreedySearchResult:
+    """Output of :func:`greedy_bitflip_search`.
+
+    ``history`` records one entry per accepted move:
+    ``(layer, group_size, new_target, accuracy)``.
+    """
+
+    strategy: Strategy
+    accuracy: float
+    history: list[tuple[str, int, int, float]] = field(default_factory=list)
+
+    @property
+    def n_moves(self) -> int:
+        return len(self.history)
+
+
+def greedy_bitflip_search(
+    weights: Weights,
+    evaluate: Evaluator,
+    min_accuracy: float,
+    initial_strategy: Strategy | None = None,
+    group_sizes: tuple[int, ...] = GROUP_SIZES,
+    layers: list[str] | None = None,
+    max_zero_columns: int = 7,
+    max_moves: int | None = None,
+) -> GreedySearchResult:
+    """Run Algorithm 1: greedily raise per-layer zero-column targets.
+
+    Each iteration tries, for every (layer, group size), incrementing that
+    zero-column target by one, evaluates the flipped network, and commits
+    the single move with the best accuracy.  The loop stops when the best
+    achievable accuracy falls below ``min_accuracy`` (the move is then
+    *not* committed), when every target is saturated, or after
+    ``max_moves`` committed moves.
+
+    Parameters
+    ----------
+    weights:
+        ``layer -> int8 tensor``; never mutated.
+    evaluate:
+        Candidate scorer; higher is better and must be on the same scale
+        as ``min_accuracy``.
+    min_accuracy:
+        The paper's ``macc`` stopping constraint.
+    initial_strategy:
+        The paper's ``S`` seed (e.g. "flip heavy layers to 4 columns").
+    layers:
+        Restrict the search to these layers (default: all).
+    """
+    searchable = layers if layers is not None else list(weights)
+    unknown = [name for name in searchable if name not in weights]
+    if unknown:
+        raise KeyError(f"strategy layers not in weight dict: {unknown}")
+
+    strategy = empty_strategy(weights)
+    if initial_strategy:
+        for name, targets in initial_strategy.items():
+            strategy[name].update(targets)
+
+    accuracy = evaluate(apply_strategy(weights, strategy))
+    history: list[tuple[str, int, int, float]] = []
+
+    while True:
+        best_accuracy = float("-inf")
+        next_move: tuple[str, int, int] | None = None
+        for layer in searchable:
+            for gs in group_sizes:
+                z = strategy[layer][gs]
+                if z >= max_zero_columns:
+                    continue
+                trial = {name: dict(t) for name, t in strategy.items()}
+                trial[layer][gs] = z + 1
+                trial_accuracy = evaluate(apply_strategy(weights, trial))
+                if trial_accuracy > best_accuracy:
+                    best_accuracy = trial_accuracy
+                    next_move = (layer, gs, z + 1)
+        if next_move is None or best_accuracy < min_accuracy:
+            break
+        layer, gs, new_z = next_move
+        strategy[layer][gs] = new_z
+        accuracy = best_accuracy
+        history.append((layer, gs, new_z, best_accuracy))
+        if max_moves is not None and len(history) >= max_moves:
+            break
+
+    return GreedySearchResult(strategy=strategy, accuracy=accuracy, history=history)

@@ -1,0 +1,187 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Beyond the paper's own figures, these sweeps isolate the sensitivity of
+BitWave's gains to its main design parameters:
+
+- **group size** -- the CR/skipping trade-off behind Table I's
+  layer-wise tunable column sizes;
+- **sync domain** -- how many column groups advance in lockstep; the
+  load-imbalance mechanism Bit-Flip exists to neutralize;
+- **DRAM bandwidth** -- where each network crosses from memory- to
+  compute-bound (why Bit-Flip is BERT's lever but not ResNet18's);
+- **Bit-Flip depth** -- speedup and compression vs weight distortion;
+- **BERT token size** -- how the BitWave-vs-HUAA gap evolves as the
+  workload gains arithmetic intensity;
+- **dense-mode precision** -- the ZCIP dense mode's precision scaling
+  (Stripes-style scaling on the BitWave array).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.accelerators.bitwave import BitWave
+from repro.accelerators.huaa import HUAA
+from repro.model.technology import TECH_16NM
+from repro.sparsity.profiles import network_weight_stats
+from repro.sparsity.stats import LayerWeightStats
+from repro.workloads.nets import bert_base_layers, network_layers
+
+
+def group_size_ablation(network: str = "resnet18") -> dict[int, dict[str, float]]:
+    """Weight-count-weighted CR and mean cycles/group per group size."""
+    stats = network_weight_stats(network)
+    total = sum(s.weight_count for s in stats.values())
+    results: dict[int, dict[str, float]] = {}
+    for g in (8, 16, 32):
+        cr = sum(s.bcs_cr[g] * s.weight_count for s in stats.values()) / total
+        cycles = sum(
+            s.mean_nz_columns(g) * s.weight_count for s in stats.values()
+        ) / total
+        results[g] = {"cr": cr, "mean_cycles_per_group": cycles}
+    return results
+
+
+def sync_domain_ablation(
+    network: str = "resnet18",
+    domains: tuple[int, ...] = (1, 2, 8, 32, 128),
+    group_size: int = 8,
+) -> dict[int, float]:
+    """Effective cycles/group vs lockstep-domain size (weighted mean).
+
+    Domain 1 is the skew-free ideal (mean non-zero columns); larger
+    domains converge to the worst group in every fetch -- the imbalance
+    Bit-Flip's equal-zero-column constraint removes.
+    """
+    stats = network_weight_stats(network)
+    total = sum(s.weight_count for s in stats.values())
+    results: dict[int, float] = {}
+    for m in domains:
+        results[m] = sum(
+            s.expected_max_nz_columns(group_size, m) * s.weight_count
+            for s in stats.values()
+        ) / total
+    return results
+
+
+def dram_bandwidth_ablation(
+    network: str = "bert_base",
+    widths: tuple[int, ...] = (64, 128, 256, 512, 1024, 2048),
+) -> dict[int, dict[str, float]]:
+    """Total cycles and the compute-bound layer fraction vs DRAM width."""
+    results: dict[int, dict[str, float]] = {}
+    for bits in widths:
+        tech = replace(TECH_16NM, dram_bits_per_cycle=bits)
+        evaluation = BitWave(tech=tech).evaluate_network(network)
+        dram = sum(layer.latency.dram_cycles for layer in evaluation.layers)
+        results[bits] = {
+            "total_cycles": evaluation.total_cycles,
+            "dram_fraction": dram / evaluation.total_cycles,
+        }
+    return results
+
+
+def bitflip_depth_ablation(
+    network: str = "bert_base",
+    targets: tuple[int, ...] = (0, 1, 2, 3, 4, 5, 6),
+    group_size: int = 16,
+) -> dict[int, dict[str, float]]:
+    """Speedup (vs unflipped), network CR and cycle cap vs flip depth."""
+    base_stats = network_weight_stats(network)
+    specs = network_layers(network)
+
+    def evaluate(stats_map: dict[str, LayerWeightStats]) -> float:
+        acc = BitWave(bitflip=False)  # strategy applied via stats_map
+        return acc.evaluate_workload(specs, stats_map, network).total_cycles
+
+    base_cycles = evaluate(base_stats)
+    total_weights = sum(s.weight_count for s in base_stats.values())
+    results: dict[int, dict[str, float]] = {}
+    for z in targets:
+        flipped = {name: s.with_bitflip(z) for name, s in base_stats.items()}
+        cycles = evaluate(flipped)
+        cr = sum(s.bcs_cr[group_size] * s.weight_count
+                 for s in flipped.values()) / total_weights
+        results[z] = {"speedup": base_cycles / cycles, "cr": cr}
+    return results
+
+
+def bert_token_ablation(
+    tokens: tuple[int, ...] = (4, 16, 64, 256),
+) -> dict[int, dict[str, float]]:
+    """BitWave vs HUAA on BERT-Base as token count grows.
+
+    At token size 4 the workload is weight-traffic bound and BitWave's
+    compression dominates; with more tokens arithmetic intensity rises
+    and the gap settles toward the pure compute advantage.
+    """
+    stats = network_weight_stats("bert_base")
+    results: dict[int, dict[str, float]] = {}
+    for t in tokens:
+        specs = bert_base_layers(tokens=t)
+        bitwave = BitWave().evaluate_workload(
+            specs, BitWave().layer_stats("bert_base"), f"bert@{t}")
+        huaa = HUAA().evaluate_workload(specs, stats, f"bert@{t}")
+        results[t] = {
+            "bitwave_cycles": bitwave.total_cycles,
+            "huaa_cycles": huaa.total_cycles,
+            "speedup_vs_huaa": huaa.total_cycles / bitwave.total_cycles,
+        }
+    return results
+
+
+def dense_precision_ablation(
+    network: str = "resnet18",
+    precisions: tuple[int, ...] = (8, 6, 4, 2),
+) -> dict[int, float]:
+    """ZCIP dense-mode precision scaling: speedup vs 8-bit dense."""
+    base = BitWave(columns="dense", bitflip=False).evaluate_network(network)
+    results: dict[int, float] = {}
+    for bits in precisions:
+        acc = BitWave(columns="dense", bitflip=False, dense_precision=bits)
+        results[bits] = base.total_cycles / \
+            acc.evaluate_network(network).total_cycles
+    return results
+
+
+def main() -> None:
+    from repro.utils.tables import format_table
+
+    print(format_table(
+        ["G", "network CR", "mean cycles/group"],
+        [[g, v["cr"], v["mean_cycles_per_group"]]
+         for g, v in group_size_ablation().items()],
+        title="Ablation: group size (ResNet18)"))
+    print()
+    print(format_table(
+        ["sync domain", "effective cycles/group"],
+        list(sync_domain_ablation().items()),
+        title="Ablation: lockstep sync-domain size (ResNet18, G=8)"))
+    print()
+    print(format_table(
+        ["DRAM bits/cycle", "Mcycles", "DRAM cycle share"],
+        [[w, v["total_cycles"] / 1e6, v["dram_fraction"]]
+         for w, v in dram_bandwidth_ablation().items()],
+        title="Ablation: DRAM bandwidth (BERT-Base)"))
+    print()
+    print(format_table(
+        ["zero-column target", "speedup", "network CR"],
+        [[z, v["speedup"], v["cr"]]
+         for z, v in bitflip_depth_ablation().items()],
+        title="Ablation: Bit-Flip depth (BERT-Base)"))
+    print()
+    print(format_table(
+        ["tokens", "BitWave Mcycles", "HUAA Mcycles", "speedup"],
+        [[t, v["bitwave_cycles"] / 1e6, v["huaa_cycles"] / 1e6,
+          v["speedup_vs_huaa"]]
+         for t, v in bert_token_ablation().items()],
+        title="Ablation: BERT token size (BitWave vs HUAA)"))
+    print()
+    print(format_table(
+        ["precision (bits)", "speedup vs 8b dense"],
+        list(dense_precision_ablation().items()),
+        title="Ablation: ZCIP dense-mode precision scaling (ResNet18)"))
+
+
+if __name__ == "__main__":
+    main()

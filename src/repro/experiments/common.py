@@ -1,0 +1,48 @@
+"""Shared, cached accelerator evaluations for the experiment harnesses.
+
+The Fig. 13-17 harnesses all consume the same 6 accelerators x 4
+networks evaluation grid; computing it once per process keeps the
+benchmark suite affordable.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.accelerators import SOTA_ACCELERATORS, build_accelerator
+from repro.accelerators.base import NetworkEvaluation
+from repro.accelerators.bitwave import BitWave
+from repro.workloads.nets import NETWORKS
+
+#: The Fig. 13 ablation ladder, in presentation order.
+BREAKDOWN_VARIANTS = ("Dense", "+DF", "+DF+SM", "+DF+SM+BF")
+
+
+@lru_cache(maxsize=None)
+def sota_evaluation(accelerator: str, network: str) -> NetworkEvaluation:
+    return build_accelerator(accelerator).evaluate_network(network)
+
+
+@lru_cache(maxsize=None)
+def _breakdown_accelerator(variant: str) -> BitWave:
+    configs = {
+        "Dense": ("fixed", "dense", False),
+        "+DF": ("dynamic", "dense", False),
+        "+DF+SM": ("dynamic", "sm", False),
+        "+DF+SM+BF": ("dynamic", "sm", True),
+    }
+    dataflow, columns, bitflip = configs[variant]
+    return BitWave(dataflow, columns, bitflip)
+
+
+@lru_cache(maxsize=None)
+def breakdown_evaluation(variant: str, network: str) -> NetworkEvaluation:
+    return _breakdown_accelerator(variant).evaluate_network(network)
+
+
+def all_sota_evaluations() -> dict[tuple[str, str], NetworkEvaluation]:
+    return {
+        (acc, net): sota_evaluation(acc, net)
+        for acc in SOTA_ACCELERATORS
+        for net in NETWORKS
+    }

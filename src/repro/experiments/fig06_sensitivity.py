@@ -1,0 +1,65 @@
+"""Fig. 6(a)-(d): layer-wise weight-flipping sensitivity.
+
+For each layer of a benchmark model, flip that layer alone to 1..7 zero
+columns and measure the fidelity proxy against the untouched model.
+Paper claims: most layers tolerate < 4 zero columns with negligible
+degradation; early (weight-light) layers are more sensitive than late
+(weight-heavy) layers.
+
+Runs on the ``tiny`` model presets (inference-based experiment;
+substitution documented in DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from repro.core.bitflip import flip_layer
+from repro.models import BUILDERS
+from repro.models.fidelity import make_evaluator
+
+ZERO_COLUMN_RANGE = tuple(range(1, 8))
+
+
+def run(
+    network: str = "resnet18",
+    group_size: int = 16,
+    zero_columns: tuple[int, ...] = ZERO_COLUMN_RANGE,
+    batch: int = 8,
+    layers: list[str] | None = None,
+) -> dict[str, dict[int, float]]:
+    """``layer -> {zero_columns: fidelity}`` sensitivity curves."""
+    model = BUILDERS[network]("tiny")
+    inputs = model.sample_inputs(batch)
+    evaluate = make_evaluator(model, inputs)
+    base_weights = model.weights_int8()
+    selected = layers if layers is not None else list(base_weights)
+
+    curves: dict[str, dict[int, float]] = {}
+    for name in selected:
+        curves[name] = {}
+        for z in zero_columns:
+            candidate = dict(base_weights)
+            candidate[name] = flip_layer(
+                base_weights[name], z, group_size).weights
+            curves[name][z] = evaluate(candidate)
+    return curves
+
+
+def main(network: str = "resnet18") -> str:
+    from repro.utils.tables import format_table
+
+    curves = run(network)
+    rows = [
+        [layer] + [scores[z] for z in ZERO_COLUMN_RANGE]
+        for layer, scores in curves.items()
+    ]
+    table = format_table(
+        ["layer"] + [f"z={z}" for z in ZERO_COLUMN_RANGE],
+        rows,
+        title=f"Fig. 6 -- {network} layer-wise flip sensitivity (tiny preset)",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Fig. 9: PE utilization of fixed SUs across layer-shape classes.
+
+Evaluates XY-, CK- and XFx-parallel fixed unrollings on the four
+workload cases of the paper (early layer, late layer, depthwise conv,
+pointwise conv) for both the 4096-lane bit-serial array and the 512-PE
+bit-parallel array.
+
+Paper claims: no fixed SU exceeds 80% utilization on every case, and
+the larger array under-utilizes more severely.
+"""
+
+from __future__ import annotations
+
+from repro.model.mapping import SpatialUnrolling
+from repro.utils.tables import format_table
+from repro.workloads.spec import LayerSpec
+
+#: The paper's four workload cases.
+CASES = {
+    "early (ResNet18 conv1)": LayerSpec(
+        "conv1", "resnet18", "conv", k=64, c=3, ox=112, oy=112, fx=7, fy=7),
+    "late (ResNet18 last conv)": LayerSpec(
+        "layer4.1.conv2", "resnet18", "conv", k=512, c=512, ox=7, oy=7,
+        fx=3, fy=3),
+    "depthwise (MobileNetV2 dwcv1)": LayerSpec(
+        "dwcv1", "mobilenetv2", "dwconv", k=32, c=1, ox=112, oy=112,
+        fx=3, fy=3),
+    "pointwise (MobileNetV2 pwcv1)": LayerSpec(
+        "pwcv1", "mobilenetv2", "pwconv", k=16, c=32, ox=112, oy=112),
+}
+
+#: Fixed SUs per array size: XY / CK / XFx parallelism styles.
+SUS_4096 = (
+    SpatialUnrolling("XY-4096", {"OX": 32, "OY": 16, "K": 8}),
+    SpatialUnrolling("CK-4096", {"C": 64, "K": 64}),
+    SpatialUnrolling("XFx-4096", {"OX": 64, "FX": 8, "K": 8}),
+)
+SUS_512 = (
+    SpatialUnrolling("XY-512", {"OX": 16, "OY": 8, "K": 4}),
+    SpatialUnrolling("CK-512", {"C": 16, "K": 32}),
+    SpatialUnrolling("XFx-512", {"OX": 16, "FX": 4, "K": 8}),
+)
+
+
+def run() -> dict[str, dict[str, float]]:
+    """``SU name -> {case: utilization}`` for all six fixed SUs."""
+    results: dict[str, dict[str, float]] = {}
+    for su in SUS_4096 + SUS_512:
+        results[su.name] = {
+            case: su.utilization(spec) for case, spec in CASES.items()
+        }
+    return results
+
+
+def main() -> str:
+    results = run()
+    rows = [
+        [name] + [values[case] for case in CASES]
+        for name, values in results.items()
+    ]
+    table = format_table(
+        ["SU"] + list(CASES),
+        rows,
+        title="Fig. 9 -- PE utilization, fixed SUs across layer classes",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

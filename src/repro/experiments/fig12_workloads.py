@@ -1,0 +1,49 @@
+"""Fig. 12 (left): the benchmark workload summary.
+
+Model type, GMACs and parameter counts of the four networks, derived
+entirely from the layer tables -- a consistency check that the workload
+database matches the published architectures.
+"""
+
+from __future__ import annotations
+
+from repro.utils.tables import format_table
+from repro.workloads.nets import NETWORKS, network_layers
+
+MODEL_TYPES = {
+    "resnet18": "CNN (residual)",
+    "mobilenetv2": "CNN (inverted residual)",
+    "cnn_lstm": "CNN + LSTM",
+    "bert_base": "Transformer encoder",
+}
+
+
+def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
+    results: dict[str, dict[str, float]] = {}
+    for net in networks:
+        layers = network_layers(net)
+        results[net] = {
+            "layers": len(layers),
+            "gmacs": sum(s.macs for s in layers) / 1e9,
+            "mparams": sum(s.weight_count for s in layers) / 1e6,
+        }
+    return results
+
+
+def main() -> str:
+    results = run()
+    rows = [
+        [net, MODEL_TYPES[net], v["layers"], v["gmacs"], v["mparams"]]
+        for net, v in results.items()
+    ]
+    table = format_table(
+        ["network", "type", "layers", "GMACs", "Mparams"],
+        rows,
+        title="Fig. 12 (left) -- benchmark workloads",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

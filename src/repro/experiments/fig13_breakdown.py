@@ -1,0 +1,43 @@
+"""Fig. 13: BitWave speedup breakdown (Dense -> +DF -> +SM -> +BF).
+
+Paper claims: dataflow helps MobileNetV2 most (2.57x); SM adds 1.31x /
+1.58x / 1.75x on ResNet18 / MobileNetV2 / CNN-LSTM but only 1.06x on
+Bert-Base; Bit-Flip then unlocks a further ~2.7x on Bert-Base.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import BREAKDOWN_VARIANTS, breakdown_evaluation
+from repro.utils.tables import format_table
+from repro.workloads.nets import NETWORKS
+
+
+def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
+    """``network -> {variant: speedup over Dense}``."""
+    results: dict[str, dict[str, float]] = {}
+    for net in networks:
+        dense = breakdown_evaluation("Dense", net).total_cycles
+        results[net] = {
+            variant: dense / breakdown_evaluation(variant, net).total_cycles
+            for variant in BREAKDOWN_VARIANTS
+        }
+    return results
+
+
+def main() -> str:
+    results = run()
+    rows = [
+        [net] + [speedups[v] for v in BREAKDOWN_VARIANTS]
+        for net, speedups in results.items()
+    ]
+    table = format_table(
+        ["network"] + list(BREAKDOWN_VARIANTS),
+        rows,
+        title="Fig. 13 -- BitWave speedup breakdown (vs Dense, higher is better)",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

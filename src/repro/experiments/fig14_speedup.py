@@ -1,0 +1,43 @@
+"""Fig. 14: speedup vs SotA accelerators, normalized to SCNN.
+
+Paper claims: BitWave fastest on every benchmark; 10.1x / 13.25x vs
+SCNN on CNN-LSTM / Bert-Base; >2x vs Bitlet.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators import SOTA_ACCELERATORS
+from repro.experiments.common import sota_evaluation
+from repro.utils.tables import format_table
+from repro.workloads.nets import NETWORKS
+
+
+def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
+    """``network -> {accelerator: speedup vs SCNN}``."""
+    results: dict[str, dict[str, float]] = {}
+    for net in networks:
+        scnn = sota_evaluation("SCNN", net).total_cycles
+        results[net] = {
+            acc: scnn / sota_evaluation(acc, net).total_cycles
+            for acc in SOTA_ACCELERATORS
+        }
+    return results
+
+
+def main() -> str:
+    results = run()
+    rows = [
+        [net] + [speedups[acc] for acc in SOTA_ACCELERATORS]
+        for net, speedups in results.items()
+    ]
+    table = format_table(
+        ["network"] + list(SOTA_ACCELERATORS),
+        rows,
+        title="Fig. 14 -- speedup normalized to SCNN (higher is better)",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Fig. 15: energy consumption vs SotA, normalized to BitWave.
+
+Paper claims: BitWave lowest everywhere; SCNN worst on weight-intensive
+networks (Bert-Base costs it 13.23x BitWave's energy); the fixed-
+dataflow designs pay 4-5x on MobileNetV2.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators import SOTA_ACCELERATORS
+from repro.experiments.common import sota_evaluation
+from repro.utils.tables import format_table
+from repro.workloads.nets import NETWORKS
+
+
+def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
+    """``network -> {accelerator: energy normalized to BitWave}``."""
+    results: dict[str, dict[str, float]] = {}
+    for net in networks:
+        bitwave = sota_evaluation("BitWave", net).total_energy_pj
+        results[net] = {
+            acc: sota_evaluation(acc, net).total_energy_pj / bitwave
+            for acc in SOTA_ACCELERATORS
+        }
+    return results
+
+
+def main() -> str:
+    results = run()
+    rows = [
+        [net] + [values[acc] for acc in SOTA_ACCELERATORS]
+        for net, values in results.items()
+    ]
+    table = format_table(
+        ["network"] + list(SOTA_ACCELERATORS),
+        rows,
+        title="Fig. 15 -- energy normalized to BitWave (lower is better)",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

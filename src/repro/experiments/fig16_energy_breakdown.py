@@ -1,0 +1,40 @@
+"""Fig. 16: BitWave's overall energy breakdown including off-chip DRAM.
+
+Paper claim: DRAM energy dominates, especially for weight-intensive
+networks where all weights must be loaded on chip at least once.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import sota_evaluation
+from repro.utils.tables import format_table
+from repro.workloads.nets import NETWORKS
+
+COMPONENTS = ("dram", "sram", "reg", "compute")
+
+
+def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
+    """``network -> component energy shares`` for BitWave."""
+    return {
+        net: sota_evaluation("BitWave", net).energy_shares()
+        for net in networks
+    }
+
+
+def main() -> str:
+    results = run()
+    rows = [
+        [net] + [shares[c] for c in COMPONENTS]
+        for net, shares in results.items()
+    ]
+    table = format_table(
+        ["network"] + list(COMPONENTS),
+        rows,
+        title="Fig. 16 -- BitWave energy breakdown (shares)",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

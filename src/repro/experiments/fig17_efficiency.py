@@ -1,0 +1,43 @@
+"""Fig. 17: energy efficiency vs SotA, normalized to SCNN.
+
+Paper claims: BitWave most efficient on every benchmark -- up to 7.71x
+SCNN and 2.04x HUAA on Bert-Base.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators import SOTA_ACCELERATORS
+from repro.experiments.common import sota_evaluation
+from repro.utils.tables import format_table
+from repro.workloads.nets import NETWORKS
+
+
+def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
+    """``network -> {accelerator: efficiency vs SCNN}``."""
+    results: dict[str, dict[str, float]] = {}
+    for net in networks:
+        scnn = sota_evaluation("SCNN", net).efficiency_tops_per_w
+        results[net] = {
+            acc: sota_evaluation(acc, net).efficiency_tops_per_w / scnn
+            for acc in SOTA_ACCELERATORS
+        }
+    return results
+
+
+def main() -> str:
+    results = run()
+    rows = [
+        [net] + [values[acc] for acc in SOTA_ACCELERATORS]
+        for net, values in results.items()
+    ]
+    table = format_table(
+        ["network"] + list(SOTA_ACCELERATORS),
+        rows,
+        title="Fig. 17 -- energy efficiency normalized to SCNN (higher is better)",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

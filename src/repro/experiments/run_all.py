@@ -1,0 +1,65 @@
+"""Run every experiment harness and print all tables in paper order.
+
+Usage: python -m repro.experiments.run_all [--fast]
+
+``--fast`` skips the inference-based Fig. 6 harnesses (the slowest
+part; everything else completes in about a minute after the sparsity
+profiles are cached).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    ablations,
+    fig01_sparsity,
+    fig04_bcs_2c_vs_sm,
+    fig05_compression,
+    fig09_utilization,
+    fig12_workloads,
+    fig13_breakdown,
+    fig14_speedup,
+    fig15_energy,
+    fig16_energy_breakdown,
+    fig17_efficiency,
+    fig18_area_power,
+    tab3_sota,
+    tab4_pe_types,
+    validation_sim_vs_model,
+)
+
+FAST_MODULES = (
+    fig12_workloads,
+    fig01_sparsity,
+    fig04_bcs_2c_vs_sm,
+    fig05_compression,
+    fig09_utilization,
+    fig13_breakdown,
+    fig14_speedup,
+    fig15_energy,
+    fig16_energy_breakdown,
+    fig17_efficiency,
+    tab3_sota,
+    fig18_area_power,
+    tab4_pe_types,
+    validation_sim_vs_model,
+)
+
+
+def main(fast: bool = False) -> None:
+    for module in FAST_MODULES:
+        module.main()
+        print()
+    if not fast:
+        from repro.experiments import fig06_pareto, fig06_sensitivity
+
+        fig06_sensitivity.main("resnet18")
+        print()
+        fig06_pareto.main("resnet18")
+        print()
+    ablations.main()
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv[1:])

@@ -1,0 +1,57 @@
+"""Table III: state-of-the-art specification comparison.
+
+Reports BitWave's system point from the calibrated area/power model
+next to the published specifications of the compared accelerators.
+Paper claims for the BitWave column: 16 nm, 250 MHz, 0.8 V, 17.56 mW,
+215.6 GOPS peak, 12.21 TOPS/W, 1.138 mm^2.
+"""
+
+from __future__ import annotations
+
+from repro.model.area import TABLE_III_ROWS, system_specs
+from repro.utils.tables import format_table
+
+
+def run() -> dict[str, dict[str, object]]:
+    specs = system_specs()
+    rows: dict[str, dict[str, object]] = {
+        name: dict(values) for name, values in TABLE_III_ROWS.items()
+    }
+    rows["BitWave"] = {
+        "tech_nm": specs.technology_nm,
+        "area_mm2": specs.area_mm2,
+        "power_w": specs.power_mw / 1000.0,
+        "sparsity": "W. bit",
+        "frequency_mhz": specs.frequency_mhz,
+        "peak_gops": specs.peak_gops,
+        "tops_per_w": specs.energy_efficiency_tops_w,
+        "area_efficiency": specs.area_efficiency_gops_w_mm2,
+    }
+    return rows
+
+
+def main() -> str:
+    rows = run()
+    table_rows = []
+    for name, values in rows.items():
+        table_rows.append([
+            name,
+            values.get("tech_nm", "-"),
+            values.get("area_mm2", "-"),
+            values.get("power_w") if values.get("power_w") is not None else "-",
+            values.get("sparsity", "-"),
+            values.get("peak_gops", "-"),
+            values.get("tops_per_w", "-"),
+        ])
+    table = format_table(
+        ["design", "tech (nm)", "area (mm2)", "power (W)",
+         "sparsity", "peak GOPS", "TOPS/W"],
+        table_rows,
+        title="Table III -- SotA specification comparison",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Table IV: area and power of the three PE types.
+
+Paper claims: the bit-column-serial PE costs 1.26x the bit-parallel
+PE's area but 1.25x less power, while the conventional bit-serial PE
+costs 4.5x area and 2.7x power.
+"""
+
+from __future__ import annotations
+
+from repro.model.area import pe_type_comparison
+from repro.utils.tables import format_table
+
+
+def run() -> dict[str, dict[str, float]]:
+    table = pe_type_comparison()
+    base = table["bit_parallel"]
+    for values in table.values():
+        values["area_ratio"] = values["area_um2"] / base["area_um2"]
+        values["power_ratio"] = values["power_mw"] / base["power_mw"]
+    return table
+
+
+def main() -> str:
+    results = run()
+    rows = [
+        [name, v["power_mw"], v["area_um2"], v["area_ratio"], v["power_ratio"]]
+        for name, v in results.items()
+    ]
+    table = format_table(
+        ["PE type", "power (mW)", "area (um2)", "area ratio", "power ratio"],
+        rows,
+        title="Table IV -- PE type comparison (one 8x8-MAC equivalent)",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

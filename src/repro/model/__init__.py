@@ -1,0 +1,41 @@
+"""Analytical accelerator model (Section V-B, equations (1)-(5)).
+
+The paper models every compared accelerator with a Sparseloop-inspired
+four-step flow: (1) map each layer with ZigZag to get dense activity
+counts (Table II), (2) extract sparsity statistics, (3) scale the
+activity counts by skipping/compression, and (4) convert to energy and
+latency with per-technology unit costs.  This package reimplements that
+flow from scratch.
+"""
+
+from repro.model.area import (
+    bitwave_area_breakdown,
+    bitwave_power_breakdown,
+    pe_type_comparison,
+    system_specs,
+)
+from repro.model.energy import EnergyBreakdown, total_energy
+from repro.model.latency import LatencyBreakdown, total_cycles
+from repro.model.mapping import SpatialUnrolling
+from repro.model.roofline import RooflinePoint, layer_roofline, network_roofline
+from repro.model.technology import Technology, TECH_16NM
+from repro.model.zigzag import ActivityCounts, map_layer
+
+__all__ = [
+    "ActivityCounts",
+    "EnergyBreakdown",
+    "LatencyBreakdown",
+    "RooflinePoint",
+    "SpatialUnrolling",
+    "TECH_16NM",
+    "Technology",
+    "bitwave_area_breakdown",
+    "bitwave_power_breakdown",
+    "layer_roofline",
+    "map_layer",
+    "network_roofline",
+    "pe_type_comparison",
+    "system_specs",
+    "total_cycles",
+    "total_energy",
+]

@@ -1,0 +1,132 @@
+"""Area/power breakdown and system specs (Fig. 18, Table III, Table IV).
+
+Component models are calibrated against the paper's published synthesis
+results in 16 nm FinFET at 250 MHz / 0.8 V: total area 1.138 mm^2, total
+power 17.56 mW running ResNet18, with the component shares of Fig. 18.
+Each component is expressed as a unit cost times its instance count, so
+the model extrapolates to other configuration points (e.g. the PE-type
+study of Table IV or scaled SRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper's system configuration.
+N_BCE = 512
+SRAM_KB = 512  # 256 KB weights + 256 KB activations
+CLOCK_MHZ = 250.0
+
+# --- Table IV: per-PE area (um^2) and power (mW) at 250 MHz ----------
+PE_TYPES = {
+    # One 8x8 bit-parallel PE.
+    "bit_parallel": {"area_um2": 98.029, "power_mw": 2.13e-2},
+    # Eight 1x8 bit-serial PEs (same throughput as one 8x8 PE).
+    "bit_serial": {"area_um2": 443.284, "power_mw": 5.71e-2},
+    # Eight 1x8 bit-column-serial PEs = one BitWave BCE.
+    "bit_column_serial": {"area_um2": 123.431, "power_mw": 1.71e-2},
+}
+
+# --- Fig. 18 calibration ----------------------------------------------
+TOTAL_AREA_MM2 = 1.138
+TOTAL_POWER_MW = 17.56  # running ResNet18
+
+#: Area shares (Fig. 18 left).
+AREA_SHARES = {
+    "sram": 0.5508,
+    "pe_array": 0.247,
+    "data_dispatcher": 0.108,
+    "zcip": 0.038,
+    "fetcher_ctrl": 0.0562,
+}
+
+#: On-chip power shares (Fig. 18 right).
+POWER_SHARES = {
+    "pe_array": 0.576,
+    "data_dispatcher": 0.244,
+    "sram": 0.118,
+    "zcip": 0.027,
+    "fetcher_ctrl": 0.035,
+}
+
+#: Published system points of Table III used for the comparison rows.
+TABLE_III_ROWS = {
+    "Stripes": {"tech_nm": 65, "area_mm2": 122.1, "power_w": None,
+                "sparsity": "-"},
+    "Pragmatic": {"tech_nm": 65, "area_mm2": 157.0, "power_w": 51.6,
+                  "sparsity": "W/A bit"},
+    "SCNN": {"tech_nm": 16, "area_mm2": 7.9, "power_w": None,
+             "sparsity": "W/A value"},
+    "Bitlet": {"tech_nm": 28, "area_mm2": 1.54, "power_w": 0.366,
+               "sparsity": "W. bit"},
+    "HUAA": {"tech_nm": 28, "area_mm2": 7.81, "power_w": None,
+             "sparsity": "-"},
+}
+
+
+@dataclass(frozen=True)
+class SystemSpecs:
+    """BitWave's Table III column."""
+
+    technology_nm: int
+    frequency_mhz: float
+    voltage_v: float
+    power_mw: float
+    peak_gops: float
+    energy_efficiency_tops_w: float
+    area_mm2: float
+
+    @property
+    def area_efficiency_gops_w_mm2(self) -> float:
+        return (self.energy_efficiency_tops_w * 1000.0) / self.area_mm2
+
+
+def bitwave_area_breakdown(
+    n_bce: int = N_BCE, sram_kb: int = SRAM_KB
+) -> dict[str, float]:
+    """Component areas in mm^2, scaling SRAM and PE array with config."""
+    base = {k: v * TOTAL_AREA_MM2 for k, v in AREA_SHARES.items()}
+    base["sram"] *= sram_kb / SRAM_KB
+    base["pe_array"] *= n_bce / N_BCE
+    base["data_dispatcher"] *= n_bce / N_BCE
+    return base
+
+
+def bitwave_power_breakdown(
+    n_bce: int = N_BCE, sram_kb: int = SRAM_KB
+) -> dict[str, float]:
+    """Component powers in mW (ResNet18 operating point)."""
+    base = {k: v * TOTAL_POWER_MW for k, v in POWER_SHARES.items()}
+    base["sram"] *= sram_kb / SRAM_KB
+    base["pe_array"] *= n_bce / N_BCE
+    base["data_dispatcher"] *= n_bce / N_BCE
+    return base
+
+
+def pe_type_comparison() -> dict[str, dict[str, float]]:
+    """Table IV: the three PE types at one 8x8-MAC-equivalent each."""
+    return {name: dict(values) for name, values in PE_TYPES.items()}
+
+
+def system_specs() -> SystemSpecs:
+    """BitWave's system point (Table III, rightmost column).
+
+    Peak performance counts one MAC as two operations across the 512
+    BCEs at 250 MHz, derated by the paper's effective-peak factor
+    (215.6 GOPS published vs. 256 GOPS raw: the weight-port bandwidth
+    ceiling documented in Table I keeps a slice of the array idle even
+    at peak).
+    """
+    raw_gops = 2.0 * N_BCE * CLOCK_MHZ / 1000.0
+    effective_factor = 215.6 / 256.0
+    peak = raw_gops * effective_factor
+    efficiency = peak / TOTAL_POWER_MW  # GOPS / mW == TOPS / W
+    return SystemSpecs(
+        technology_nm=16,
+        frequency_mhz=CLOCK_MHZ,
+        voltage_v=0.8,
+        power_mw=TOTAL_POWER_MW,
+        peak_gops=peak,
+        energy_efficiency_tops_w=efficiency,
+        area_mm2=TOTAL_AREA_MM2,
+    )

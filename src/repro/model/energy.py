@@ -1,0 +1,75 @@
+"""Energy model: equation (4) of the paper.
+
+``Total energy = sum over memory levels of (effective accesses x unit
+energy) + effective MACs x unit MAC energy``.
+
+The compute term is supplied by the accelerator (bit-parallel MACs,
+bit-serial lane-cycles, or BCE column-cycles price differently, per
+Table IV); the memory terms are shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.technology import Technology, TECH_16NM
+from repro.model.zigzag import ActivityCounts
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Picojoules per component (Fig. 16's categories)."""
+
+    dram_pj: float
+    sram_pj: float
+    reg_pj: float
+    compute_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.dram_pj + self.sram_pj + self.reg_pj + self.compute_pj
+
+    @property
+    def on_chip_pj(self) -> float:
+        return self.sram_pj + self.reg_pj + self.compute_pj
+
+    def shares(self) -> dict[str, float]:
+        total = self.total_pj
+        if total == 0:
+            return {"dram": 0.0, "sram": 0.0, "reg": 0.0, "compute": 0.0}
+        return {
+            "dram": self.dram_pj / total,
+            "sram": self.sram_pj / total,
+            "reg": self.reg_pj / total,
+            "compute": self.compute_pj / total,
+        }
+
+
+def total_energy(
+    counts: ActivityCounts,
+    compute_pj: float,
+    weight_cr: float = 1.0,
+    act_cr: float = 1.0,
+    sram_weight_overhead: float = 1.0,
+    tech: Technology = TECH_16NM,
+) -> EnergyBreakdown:
+    """Equation (4) with the compression scaling of equation (3)."""
+    if weight_cr <= 0 or act_cr <= 0:
+        raise ValueError("compression ratios must be positive")
+    dram_elements = (
+        counts.dram_read_weight / weight_cr
+        + counts.dram_read_act / act_cr
+        + counts.dram_write_act / act_cr
+    )
+    sram_elements = (
+        counts.sram_read_weight / weight_cr * sram_weight_overhead
+        + counts.sram_read_input
+        + counts.sram_write_output
+    )
+    reg_elements = counts.reg_read + counts.reg_write
+    return EnergyBreakdown(
+        dram_pj=dram_elements * tech.dram_pj_per_element,
+        sram_pj=sram_elements * tech.sram_pj_per_element,
+        reg_pj=reg_elements * tech.reg_pj_per_element,
+        compute_pj=compute_pj,
+    )

@@ -1,0 +1,105 @@
+"""Latency model: equations (1), (2), (3) and (5) of the paper.
+
+Equation (5) assumes memory transfers hide under compute or vice versa:
+
+``Total cycles = N_DRAM r/w,e + N_SRAM write-output,e
+               + max(N_SRAM read-input,e, N_SRAM read-weight,e,
+                     N_reg read,e, CC_mac,e)``
+
+where every access count is first converted to cycles at its interface
+width.  The DRAM term is serialized (single off-chip channel shared by
+all tensors), the output write-back is serialized with compute (single
+port), and the remaining on-chip streams overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.technology import Technology, TECH_16NM
+from repro.model.zigzag import ActivityCounts
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Cycle counts per term of equation (5)."""
+
+    dram_cycles: float
+    sram_write_output_cycles: float
+    sram_read_input_cycles: float
+    sram_read_weight_cycles: float
+    reg_read_cycles: float
+    compute_cycles: float
+
+    @property
+    def overlap_term(self) -> float:
+        return max(
+            self.sram_read_input_cycles,
+            self.sram_read_weight_cycles,
+            self.reg_read_cycles,
+            self.compute_cycles,
+        )
+
+    @property
+    def total(self) -> float:
+        return self.dram_cycles + self.sram_write_output_cycles + self.overlap_term
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.compute_cycles >= self.overlap_term - 1e-9
+
+
+def total_cycles(
+    counts: ActivityCounts,
+    compute_cycles: float,
+    weight_cr: float = 1.0,
+    act_cr: float = 1.0,
+    sram_weight_overhead: float = 1.0,
+    tech: Technology = TECH_16NM,
+    sram_w_bits_per_cycle: int | None = None,
+    sram_a_bits_per_cycle: int | None = None,
+) -> LatencyBreakdown:
+    """Equation (5) with the sparsity scaling of equation (3).
+
+    Parameters
+    ----------
+    counts:
+        Dense activity counts from :func:`repro.model.zigzag.map_layer`.
+    compute_cycles:
+        Effective compute cycles ``CC_mac,e`` (equations (1)-(2)),
+        supplied by the accelerator's cycle model.
+    weight_cr / act_cr:
+        Compression ratios dividing weight / activation traffic
+        (equation (3)).
+    sram_weight_overhead:
+        Multiplier >= 1 on SRAM weight reads for accelerators that
+        fetch index metadata at runtime (e.g. Bitlet).
+    """
+    if weight_cr <= 0 or act_cr <= 0:
+        raise ValueError("compression ratios must be positive")
+    dram_elements = (
+        counts.dram_read_weight / weight_cr
+        + counts.dram_read_act / act_cr
+        + counts.dram_write_act / act_cr
+    )
+    dram_cycles = dram_elements / tech.dram_elements_per_cycle()
+
+    w_elems_per_cycle = tech.sram_elements_per_cycle(sram_w_bits_per_cycle)
+    a_elems_per_cycle = tech.sram_elements_per_cycle(sram_a_bits_per_cycle)
+
+    sram_read_weight_cycles = (
+        counts.sram_read_weight / weight_cr * sram_weight_overhead
+        / w_elems_per_cycle)
+    sram_read_input_cycles = counts.sram_read_input / a_elems_per_cycle
+    sram_write_output_cycles = counts.sram_write_output / a_elems_per_cycle
+    # Registers are as wide as the PE array: never narrower than compute.
+    reg_read_cycles = counts.reg_read / max(counts.macs_per_cycle * 2.0, 1e-12)
+
+    return LatencyBreakdown(
+        dram_cycles=dram_cycles,
+        sram_write_output_cycles=sram_write_output_cycles,
+        sram_read_input_cycles=sram_read_input_cycles,
+        sram_read_weight_cycles=sram_read_weight_cycles,
+        reg_read_cycles=reg_read_cycles,
+        compute_cycles=compute_cycles,
+    )

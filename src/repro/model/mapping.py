@@ -1,0 +1,117 @@
+"""Spatial unrolling (SU) and utilization math (paper Section II-A, Fig. 9).
+
+A :class:`SpatialUnrolling` assigns parallelism factors to loop
+dimensions.  Utilization on a layer is the product over unrolled dims of
+``dim / (ceil(dim / factor) * factor)`` -- the fraction of lanes doing
+useful work given that partially-filled iterations round up.  This is
+exactly why large bit-serial arrays under-utilize: the same 4096 lanes
+spread over more dims leave more remainder lanes idle (Fig. 9's
+observation that "the larger-sized PE array suffers more severe
+under-utilization").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.workloads.spec import LayerSpec
+
+#: Dims a weight element is indexed by (the rest broadcast weights).
+WEIGHT_DIMS = frozenset({"K", "C", "FX", "FY"})
+#: Dims an input activation is indexed by (the rest broadcast inputs).
+INPUT_DIMS = frozenset({"B", "C", "OX", "OY", "FX", "FY"})
+#: Dims that select an output element (the rest reduce into it).
+OUTPUT_DIMS = frozenset({"B", "K", "OX", "OY"})
+
+
+@dataclass(frozen=True)
+class SpatialUnrolling:
+    """Named assignment of spatial parallelism to loop dims.
+
+    ``fold_reduction=True`` models CK-style bit-parallel arrays (NVDLA,
+    HUAA, the Fig. 13 Dense baseline) whose reduction lanes consume the
+    *flattened* ``C x FX x FY`` reduction -- an im2col view -- so a
+    C=3, 7x7 stem conv still fills 147 of 64 lanes.  BitWave's SUs keep
+    ``fold_reduction=False``: the bit column spans input channels only
+    ("we assume unrolling across C", Section IV-B).
+    """
+
+    name: str
+    factors: dict[str, int] = field(hash=False)
+    fold_reduction: bool = False
+
+    def __post_init__(self) -> None:
+        for dim, factor in self.factors.items():
+            if dim not in {"B", "K", "C", "OX", "OY", "FX", "FY", "G"}:
+                raise ValueError(f"unknown dim {dim!r} in SU {self.name}")
+            if factor < 1:
+                raise ValueError(f"factor must be >= 1 for {dim} in {self.name}")
+        if self.fold_reduction and ("FX" in self.factors or "FY" in self.factors):
+            raise ValueError(
+                f"SU {self.name}: fold_reduction subsumes FX/FY factors")
+
+    @property
+    def lanes(self) -> int:
+        """Total spatial lanes (PEs/SMMs occupied by this SU)."""
+        total = 1
+        for factor in self.factors.values():
+            total *= factor
+        return total
+
+    def _dim_size(self, spec: LayerSpec, dim: str) -> int:
+        if dim == "G":
+            # The depthwise "group" dim unrolls kernels (= channels).
+            return spec.k
+        if dim == "C" and self.fold_reduction:
+            return spec.c * spec.fx * spec.fy
+        return spec.dims[dim]
+
+    def utilization(self, spec: LayerSpec) -> float:
+        """Average fraction of lanes doing useful work on this layer."""
+        util = 1.0
+        for dim, factor in self.factors.items():
+            size = self._dim_size(spec, dim)
+            util *= size / (math.ceil(size / factor) * factor)
+        return util
+
+    def effective_parallelism(self, spec: LayerSpec, dims: frozenset[str]) -> float:
+        """Average useful lanes across the given dims (spatial reuse)."""
+        reuse = 1.0
+        for dim, factor in self.factors.items():
+            key = "K" if dim == "G" else dim
+            if key not in dims:
+                continue
+            size = self._dim_size(spec, dim)
+            reuse *= size / math.ceil(size / factor)
+        return reuse
+
+    def weight_spatial_reuse(self, spec: LayerSpec) -> float:
+        """How many lanes share one weight element per cycle."""
+        broadcast_dims = frozenset(
+            {"B", "K", "C", "OX", "OY", "FX", "FY"} - WEIGHT_DIMS)
+        return max(self.effective_parallelism(spec, broadcast_dims), 1.0)
+
+    def input_spatial_reuse(self, spec: LayerSpec) -> float:
+        """How many lanes share one input element per cycle."""
+        broadcast_dims = frozenset(
+            {"B", "K", "C", "OX", "OY", "FX", "FY"} - INPUT_DIMS)
+        return max(self.effective_parallelism(spec, broadcast_dims), 1.0)
+
+    def macs_per_cycle(self, spec: LayerSpec) -> float:
+        """Useful MAC lanes per cycle on this layer."""
+        return self.lanes * self.utilization(spec)
+
+
+def best_su(
+    sus: tuple[SpatialUnrolling, ...], spec: LayerSpec
+) -> SpatialUnrolling:
+    """The SU with the highest utilization for this layer.
+
+    This is the offline ZigZag design-space exploration the BitWave top
+    controller consumes per layer (Section IV-C); ties break toward the
+    earlier entry, so SU lists should be ordered by preference.
+    """
+    if not sus:
+        raise ValueError("no spatial unrollings provided")
+    return max(sus, key=lambda su: (su.macs_per_cycle(spec), -sus.index(su)))

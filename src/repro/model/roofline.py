@@ -1,0 +1,71 @@
+"""Roofline analysis: arithmetic intensity vs the machine balance point.
+
+Explains *where* each of BitWave's two levers pays off: compression
+moves memory-bound layers (it raises effective bandwidth), column
+skipping moves compute-bound layers (it raises effective throughput).
+BERT-Base at token size 4 sits far left of the ridge (Bit-Flip's 2.67x
+comes from compression); ResNet18's convolutions sit right of it (their
+gains come from skipping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.technology import Technology, TECH_16NM
+from repro.workloads.spec import LayerSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer's position on the roofline."""
+
+    layer: str
+    arithmetic_intensity: float  # MACs per off-chip byte
+    ridge_point: float           # machine balance (MACs/cycle per B/cycle)
+    memory_bound: bool
+
+    @property
+    def headroom(self) -> float:
+        """Intensity / ridge: <1 memory-bound, >1 compute-bound."""
+        return self.arithmetic_intensity / self.ridge_point
+
+
+def layer_roofline(
+    spec: LayerSpec,
+    peak_macs_per_cycle: float = 512.0,
+    weight_cr: float = 1.0,
+    tech: Technology = TECH_16NM,
+) -> RooflinePoint:
+    """Place a layer on the roofline of the modelled platform.
+
+    ``weight_cr`` divides the weight traffic, shifting the layer right
+    -- exactly how BCS compression converts memory-bound layers into
+    compute-bound ones.
+    """
+    if weight_cr <= 0:
+        raise ValueError("weight_cr must be positive")
+    traffic_bytes = spec.weight_count / weight_cr + spec.input_count \
+        + spec.output_count
+    intensity = spec.macs / traffic_bytes
+    bytes_per_cycle = tech.dram_bits_per_cycle / 8.0
+    ridge = peak_macs_per_cycle / bytes_per_cycle
+    return RooflinePoint(
+        layer=spec.name,
+        arithmetic_intensity=intensity,
+        ridge_point=ridge,
+        memory_bound=intensity < ridge,
+    )
+
+
+def network_roofline(
+    specs: list[LayerSpec],
+    peak_macs_per_cycle: float = 512.0,
+    weight_cr: float = 1.0,
+    tech: Technology = TECH_16NM,
+) -> list[RooflinePoint]:
+    """Roofline placement of every layer of a workload."""
+    return [
+        layer_roofline(spec, peak_macs_per_cycle, weight_cr, tech)
+        for spec in specs
+    ]

@@ -1,0 +1,63 @@
+"""16 nm technology constants (paper Section V-A/V-B STEP4).
+
+Unit energies per access/operation.  On-chip values derive from the
+paper's own synthesis-based breakdowns (Table IV per-PE power at
+250 MHz, Fig. 18 component shares); DRAM energy uses the published
+DRAMPower DDR3 coefficient.  All values are in picojoules.
+
+Per-PE energies from Table IV at 250 MHz (energy = power / frequency):
+
+- one 8x8 bit-parallel PE: 2.13e-2 mW -> 0.0852 pJ per MAC;
+- eight 1x8 bit-serial PEs (one MAC-equivalent per cycle): 5.71e-2 mW
+  -> 0.2284 pJ per MAC-equivalent cycle;
+- eight 1x8 bit-column-serial PEs (one BCE): 1.71e-2 mW -> 0.0684 pJ
+  per column cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CLOCK_FREQUENCY_HZ = 250e6
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Unit energies (pJ) and interface widths (bits/cycle)."""
+
+    # --- energy per 8-bit element access -----------------------------
+    dram_pj_per_element: float
+    sram_pj_per_element: float
+    reg_pj_per_element: float
+    # --- energy per compute operation --------------------------------
+    mac_bit_parallel_pj: float
+    mac_bit_serial_cycle_pj: float
+    bce_column_cycle_pj: float
+    # --- interface widths ---------------------------------------------
+    dram_bits_per_cycle: int
+    sram_bits_per_cycle: int
+
+    def dram_elements_per_cycle(self) -> float:
+        return self.dram_bits_per_cycle / 8.0
+
+    def sram_elements_per_cycle(self, bits_per_cycle: int | None = None) -> float:
+        bits = bits_per_cycle or self.sram_bits_per_cycle
+        return bits / 8.0
+
+
+#: DDR3 streaming I/O energy ~7.5 pJ/bit (DRAMPower, activate+read
+#: amortized over bursts): 60 pJ per byte.
+#: 256 KB single-port SRAM in 16 nm: ~0.125 pJ/bit -> 1.0 pJ per byte.
+#: Pipeline/accumulator registers: ~0.03 pJ per byte.
+#: DDR3-1600 on a 64-bit channel delivers 12.8 GB/s; against the 250 MHz
+#: accelerator clock that is 51 bytes/cycle, modelled as 512 bits/cycle.
+TECH_16NM = Technology(
+    dram_pj_per_element=60.0,
+    sram_pj_per_element=1.00,
+    reg_pj_per_element=0.03,
+    mac_bit_parallel_pj=0.0852,
+    mac_bit_serial_cycle_pj=0.2284 / 8.0,   # per 1x8 lane-cycle
+    bce_column_cycle_pj=0.0684 / 8.0,       # per SMM lane-cycle
+    dram_bits_per_cycle=512,
+    sram_bits_per_cycle=1024,
+)

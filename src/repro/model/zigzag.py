@@ -1,0 +1,126 @@
+"""Dense activity-count extraction (the Table II quantities).
+
+``map_layer`` plays the role of the ZigZag analytical mapper: given a
+layer and a spatial unrolling it derives, for an output-stationary
+temporal schedule over a DRAM + dual-SRAM + register hierarchy, the
+dense per-level access counts that equations (3)-(5) consume.
+
+Counting model (element = one 8-bit word):
+
+- the PE array issues ``lanes`` operand slots per cycle whether or not
+  a lane is useful, so on-chip operand traffic scales with the *padded*
+  MAC count ``Nmac / utilization`` -- this is the paper's "lower PE
+  utilization ... increased need for on-chip data accesses" mechanism;
+- spatial broadcast divides operand fetches by the operand's spatial
+  reuse; PE-local operand/psum registers additionally capture a bounded
+  window (:data:`REG_REUSE_WINDOW`) of temporal reuse: weights stay
+  while the lane sweeps nearby output positions, inputs stay while the
+  array sweeps the kernel tile;
+- outputs accumulate locally (output stationary) and are written to
+  SRAM once;
+- tensors travel DRAM<->SRAM once; intermediate activations that fit
+  half the activation SRAM are *fused* on chip (never visit DRAM);
+  weights re-stream once per activation tile when neither tensor fits;
+- register traffic is two operand reads and one accumulator write per
+  (useful) MAC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.mapping import SpatialUnrolling
+from repro.workloads.spec import LayerSpec
+
+#: On-chip buffer sizes of the common comparison platform (Fig. 12):
+#: 256 KB weight SRAM + 256 KB activation SRAM.
+WEIGHT_SRAM_BYTES = 256 * 1024
+ACT_SRAM_BYTES = 256 * 1024
+
+#: Output positions (for weights) / kernel slices (for inputs) a fetched
+#: operand survives in PE-local registers before re-fetch.
+REG_REUSE_WINDOW = 16
+
+_OUTPUT_SPACE = frozenset({"B", "OX", "OY"})
+_KERNEL_SPACE = frozenset({"K"})
+
+
+@dataclass(frozen=True)
+class ActivityCounts:
+    """Dense activity counts of one (layer, SU) pair -- Table II."""
+
+    n_mac: int
+    macs_per_cycle: float
+    utilization: float
+    # element counts
+    dram_read_weight: float
+    dram_read_act: float
+    dram_write_act: float
+    sram_read_weight: float
+    sram_read_input: float
+    sram_write_output: float
+    reg_read: float
+    reg_write: float
+
+    @property
+    def dram_traffic(self) -> float:
+        return self.dram_read_weight + self.dram_read_act + self.dram_write_act
+
+
+def map_layer(
+    spec: LayerSpec,
+    su: SpatialUnrolling,
+    weight_sram_bytes: int = WEIGHT_SRAM_BYTES,
+    act_sram_bytes: int = ACT_SRAM_BYTES,
+) -> ActivityCounts:
+    """Derive dense activity counts for ``spec`` under ``su``."""
+    n_mac = spec.macs
+    utilization = max(su.utilization(spec), 1e-12)
+    macs_per_cycle = max(su.macs_per_cycle(spec), 1e-12)
+    padded_macs = n_mac / utilization
+
+    # --- DRAM ----------------------------------------------------------
+    act_tile_capacity = act_sram_bytes // 2
+    weight_passes = 1
+    if spec.weight_count > weight_sram_bytes and \
+            spec.input_count > act_tile_capacity:
+        weight_passes = math.ceil(spec.input_count / act_tile_capacity)
+    dram_read_weight = float(spec.weight_count * weight_passes)
+    # Intermediate activations that fit on chip are fused (layer-to-layer
+    # forwarding through the activation SRAM).
+    dram_read_act = float(spec.input_count) if \
+        spec.input_count > act_tile_capacity else 0.0
+    dram_write_act = float(spec.output_count) if \
+        spec.output_count > act_tile_capacity else 0.0
+
+    # --- SRAM ----------------------------------------------------------
+    # Temporal register reuse: a weight survives while its lane sweeps
+    # the output positions not covered spatially; an input survives
+    # while the array sweeps the kernels not covered spatially.
+    outputs_per_weight = spec.b * spec.ox * spec.oy / max(
+        su.effective_parallelism(spec, _OUTPUT_SPACE), 1.0)
+    weight_temporal = min(REG_REUSE_WINDOW, max(outputs_per_weight, 1.0))
+    kernels_per_input = spec.k / max(
+        su.effective_parallelism(spec, _KERNEL_SPACE), 1.0)
+    input_temporal = min(REG_REUSE_WINDOW, max(kernels_per_input, 1.0))
+
+    sram_read_weight = padded_macs / (
+        su.weight_spatial_reuse(spec) * weight_temporal)
+    sram_read_input = padded_macs / (
+        su.input_spatial_reuse(spec) * input_temporal)
+    sram_write_output = float(spec.output_count)
+
+    return ActivityCounts(
+        n_mac=n_mac,
+        macs_per_cycle=macs_per_cycle,
+        utilization=utilization,
+        dram_read_weight=dram_read_weight,
+        dram_read_act=dram_read_act,
+        dram_write_act=dram_write_act,
+        sram_read_weight=sram_read_weight,
+        sram_read_input=sram_read_input,
+        sram_write_output=sram_write_output,
+        reg_read=2.0 * n_mac,
+        reg_write=float(n_mac),
+    )

@@ -1,0 +1,40 @@
+"""The paper's four benchmark networks, built on the NumPy substrate.
+
+Each builder accepts a ``preset``:
+
+- ``"paper"`` -- the exact layer dimensions of the published networks
+  (ResNet18 / MobileNetV2 at 224x224, CNN-LSTM denoiser, BERT-Base).
+  Use for weight-statistics experiments (sparsity, compression), which
+  never run inference.
+- ``"tiny"`` -- same topology at reduced width/depth/resolution.  Use for
+  inference-based experiments (Bit-Flip sensitivity, greedy search),
+  where the paper's full networks would be needlessly slow in NumPy.
+"""
+
+from repro.models.bert import build_bert_base
+from repro.models.cnn_lstm import build_cnn_lstm
+from repro.models.fidelity import (
+    f1_proxy,
+    pesq_proxy,
+    top1_agreement,
+)
+from repro.models.mobilenetv2 import build_mobilenetv2
+from repro.models.resnet18 import build_resnet18
+
+BUILDERS = {
+    "resnet18": build_resnet18,
+    "mobilenetv2": build_mobilenetv2,
+    "cnn_lstm": build_cnn_lstm,
+    "bert_base": build_bert_base,
+}
+
+__all__ = [
+    "BUILDERS",
+    "build_bert_base",
+    "build_cnn_lstm",
+    "build_mobilenetv2",
+    "build_resnet18",
+    "f1_proxy",
+    "pesq_proxy",
+    "top1_agreement",
+]

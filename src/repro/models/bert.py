@@ -1,0 +1,87 @@
+"""BERT-Base encoder for extractive QA (the paper's F1 benchmark).
+
+Layer naming mirrors HuggingFace/the paper: every quantized sub-layer of
+encoder block ``N`` registers under ``bert.encoder.layer.N.<sublayer>``;
+the per-block aggregate name ``Layer.N`` used in Fig. 6(d)/(h) is
+available through :meth:`BertBase.block_layer_names`.
+
+The QA head produces start/end span logits, evaluated with the span-F1
+fidelity proxy (:func:`repro.models.fidelity.f1_proxy`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import TransformerEncoderLayer
+from repro.nn.layers import Embedding, LayerNorm, Linear
+from repro.nn.model import Model
+
+PRESETS = {
+    "paper": {"dim": 768, "heads": 12, "ffn": 3072, "layers": 12,
+              "vocab": 8192, "seq_len": 4},
+    "tiny": {"dim": 128, "heads": 4, "ffn": 512, "layers": 4,
+             "vocab": 512, "seq_len": 4},
+}
+
+
+class BertBase(Model):
+    def __init__(self, preset: str = "paper") -> None:
+        super().__init__("bert_base")
+        if preset not in PRESETS:
+            raise ValueError(f"unknown preset {preset!r}")
+        cfg = PRESETS[preset]
+        self.preset = preset
+        self.dim = cfg["dim"]
+        self.seq_len = cfg["seq_len"]
+        self.vocab = cfg["vocab"]
+
+        self.embedding = self.add("bert.embeddings.word_embeddings",
+                                  Embedding(cfg["vocab"], cfg["dim"],
+                                            seed=(self.name, "emb")))
+        self.pos_embedding = Embedding(
+            512, cfg["dim"], seed=(self.name, "pos"))
+        self.embed_ln = LayerNorm(cfg["dim"])
+
+        self.encoder_layers: list[TransformerEncoderLayer] = []
+        for i in range(cfg["layers"]):
+            block = TransformerEncoderLayer(
+                cfg["dim"], cfg["heads"], cfg["ffn"],
+                seed=(self.name, "layer", i))
+            self.encoder_layers.append(block)
+            for sub_name, sub in block.quantized_sublayers().items():
+                self.add(f"bert.encoder.layer.{i}.{sub_name}", sub)
+
+        self.qa_head = self.add("qa_outputs", Linear(
+            cfg["dim"], 2, seed=(self.name, "qa")))
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.encoder_layers)
+
+    def block_layer_names(self, index: int) -> list[str]:
+        """All quantized layer names of encoder block ``index``."""
+        prefix = f"bert.encoder.layer.{index}."
+        return [name for name, _ in self.named_quantized_layers()
+                if name.startswith(prefix)]
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        """Token ids ``(batch, seq)`` -> span logits ``(batch, seq, 2)``."""
+        batch, seq = token_ids.shape
+        positions = np.arange(seq)
+        x = self.embedding.forward(token_ids) + \
+            self.pos_embedding.forward(positions)[None]
+        x = self.embed_ln.forward(x)
+        for block in self.encoder_layers:
+            x = block.forward(x)
+        return self.qa_head.forward(x)
+
+    def sample_inputs(self, batch: int, seed: object = 0) -> np.ndarray:
+        from repro.utils.rng import seeded_rng
+
+        rng = seeded_rng(self.name, "inputs", seed)
+        return rng.integers(0, self.vocab, (batch, self.seq_len))
+
+
+def build_bert_base(preset: str = "paper") -> BertBase:
+    return BertBase(preset)

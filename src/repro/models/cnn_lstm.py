@@ -1,0 +1,79 @@
+"""CNN-LSTM audio denoiser (the paper's in-house NXP benchmark).
+
+The published model is private; the paper describes it only as a
+CNN-LSTM for audio denoising whose two LSTM layers hold ~80% of the
+weights (Fig. 6(c)/(g)).  We reconstruct the canonical architecture for
+that task: a small conv front-end over log-spectrogram frames, two
+stacked LSTM layers, and a linear mask decoder per frame.  Layer names
+follow the paper: ``conv.0``, ``conv.1``, ``LSTM.0``, ``LSTM.1``, ``fc``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.lstm import LSTM
+from repro.nn.model import Model
+
+PRESETS = {
+    # 257-bin spectrogram (512-point FFT), hidden 512: LSTM share ~84%.
+    "paper": {"bins": 257, "conv_ch": 64, "hidden": 512, "frames": 16},
+    "tiny": {"bins": 33, "conv_ch": 16, "hidden": 64, "frames": 8},
+}
+
+
+class CnnLstm(Model):
+    """Spectrogram in ``(batch, time, bins)`` -> denoising mask, same shape.
+
+    The conv front-end is a pair of temporal (1-D over frames) convs
+    with the spectral bins as channels -- the canonical structure for
+    frame-wise speech enhancement.
+    """
+
+    def __init__(self, preset: str = "paper") -> None:
+        super().__init__("cnn_lstm")
+        if preset not in PRESETS:
+            raise ValueError(f"unknown preset {preset!r}")
+        cfg = PRESETS[preset]
+        self.preset = preset
+        self.bins = cfg["bins"]
+        self.frames = cfg["frames"]
+        conv_ch = cfg["conv_ch"]
+        hidden = cfg["hidden"]
+
+        self.conv0 = self.add("conv.0", Conv2d(
+            self.bins, conv_ch, (1, 3), 1, (0, 1),
+            seed=(self.name, "conv.0")))
+        self.conv1 = self.add("conv.1", Conv2d(
+            conv_ch, self.bins, (1, 3), 1, (0, 1),
+            seed=(self.name, "conv.1")))
+        self.lstm = LSTM(self.bins, hidden, num_layers=2, seed=(self.name,))
+        self.add("LSTM.0", self.lstm.layers[0])
+        self.add("LSTM.1", self.lstm.layers[1])
+        self.fc = self.add("fc", Linear(
+            hidden, self.bins, seed=(self.name, "fc")))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # (batch, time, bins) -> NCHW with bins as channels, time as W.
+        img = x.transpose(0, 2, 1)[:, :, None, :]
+        img = F.relu(self.conv0.forward(img))
+        img = self.conv1.forward(img)
+        features = img[:, :, 0, :].transpose(0, 2, 1)  # (batch, time, bins)
+        hidden = self.lstm.forward(features)
+        mask = F.sigmoid(self.fc.forward(hidden))
+        return x * mask
+
+    def sample_inputs(self, batch: int, seed: object = 0) -> np.ndarray:
+        """Synthetic noisy log-spectrograms."""
+        from repro.utils.rng import seeded_rng
+
+        rng = seeded_rng(self.name, "inputs", seed)
+        clean = np.abs(rng.normal(0, 1.0, (batch, self.frames, self.bins)))
+        noise = np.abs(rng.normal(0, 0.3, (batch, self.frames, self.bins)))
+        return (clean + noise).astype(np.float32)
+
+
+def build_cnn_lstm(preset: str = "paper") -> CnnLstm:
+    return CnnLstm(preset)

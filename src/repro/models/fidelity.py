@@ -1,0 +1,125 @@
+"""Data-free fidelity proxies for the Bit-Flip accuracy axes.
+
+The paper measures top-1 accuracy (ResNet18, MobileNetV2 on ImageNet),
+PESQ (CNN-LSTM on audio), and F1 (BERT-Base on QA).  Those datasets are
+unavailable offline, and what the Bit-Flip experiments actually quantify
+is *degradation relative to the untouched Int8 model*.  We therefore
+measure output fidelity of the flipped model against the unmodified
+model on synthetic calibration inputs (substitution documented in
+DESIGN.md §2):
+
+- classification: top-1 agreement of the logits' argmax;
+- audio: an SNR-derived PESQ-shaped score in [1.0, 4.5];
+- QA: token-level span F1 between predicted and reference spans.
+
+All three proxies equal their maximum when the flipped model matches the
+reference exactly, and decrease monotonically with output error, so the
+greedy search and Pareto sweeps behave as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.model import Model
+
+#: PESQ scale bounds (ITU-T P.862).
+PESQ_MIN, PESQ_MAX = 1.0, 4.5
+
+
+def top1_agreement(logits: np.ndarray, reference: np.ndarray) -> float:
+    """Fraction of samples whose argmax matches the reference model's."""
+    if logits.shape != reference.shape:
+        raise ValueError(f"shape mismatch {logits.shape} vs {reference.shape}")
+    return float(
+        (logits.argmax(axis=-1) == reference.argmax(axis=-1)).mean())
+
+
+def pesq_proxy(output: np.ndarray, reference: np.ndarray) -> float:
+    """PESQ-shaped score from the SNR of ``output`` against ``reference``.
+
+    Maps signal-to-noise ratio (dB) through a logistic onto the PESQ
+    scale [1.0, 4.5]; identical outputs score 4.5.  The logistic midpoint
+    (12 dB) and slope (6 dB) follow published PESQ-vs-SNR fits for
+    speech enhancement.
+    """
+    if output.shape != reference.shape:
+        raise ValueError(f"shape mismatch {output.shape} vs {reference.shape}")
+    noise_power = float(np.mean((output - reference) ** 2))
+    if noise_power == 0.0:
+        return PESQ_MAX
+    signal_power = float(np.mean(reference ** 2)) + 1e-12
+    snr_db = 10.0 * np.log10(signal_power / noise_power)
+    logistic = 1.0 / (1.0 + np.exp(-(snr_db - 12.0) / 6.0))
+    return PESQ_MIN + (PESQ_MAX - PESQ_MIN) * float(logistic)
+
+
+def f1_proxy(span_logits: np.ndarray, reference: np.ndarray) -> float:
+    """Mean token-level F1 between predicted spans of two QA models.
+
+    ``span_logits`` is ``(batch, seq, 2)`` (start/end).  Each model
+    predicts the span ``[argmax(start), argmax(end)]`` (clamped so the
+    end is not before the start), and F1 is token overlap, the SQuAD
+    metric.
+    """
+    if span_logits.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch {span_logits.shape} vs {reference.shape}")
+
+    def spans(logits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        start = logits[..., 0].argmax(axis=-1)
+        end = logits[..., 1].argmax(axis=-1)
+        return start, np.maximum(start, end)
+
+    s_a, e_a = spans(span_logits)
+    s_b, e_b = spans(reference)
+    scores = []
+    for sa, ea, sb, eb in zip(s_a, e_a, s_b, e_b):
+        set_a = set(range(int(sa), int(ea) + 1))
+        set_b = set(range(int(sb), int(eb) + 1))
+        overlap = len(set_a & set_b)
+        if overlap == 0:
+            scores.append(0.0)
+            continue
+        precision = overlap / len(set_a)
+        recall = overlap / len(set_b)
+        scores.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(scores))
+
+
+#: Per-network proxy selection, matching the paper's metric per benchmark.
+METRICS: dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
+    "resnet18": top1_agreement,
+    "mobilenetv2": top1_agreement,
+    "cnn_lstm": pesq_proxy,
+    "bert_base": f1_proxy,
+}
+
+
+def make_evaluator(
+    model: Model,
+    inputs: np.ndarray,
+    metric: Callable[[np.ndarray, np.ndarray], float] | None = None,
+) -> Callable[[dict[str, np.ndarray]], float]:
+    """Build an ``evaluate(weights) -> score`` callback for the search.
+
+    Captures the unmodified model's outputs as the reference, then for
+    every candidate weight set: installs it, runs inference, scores
+    against the reference, and restores the original weights.
+    """
+    if metric is None:
+        metric = METRICS[model.name]
+    original = model.weights_int8()
+    reference = model.forward(inputs)
+
+    def evaluate(weights: dict[str, np.ndarray]) -> float:
+        model.set_weights_int8(weights)
+        try:
+            outputs = model.forward(inputs)
+        finally:
+            model.set_weights_int8(original)
+        return metric(outputs, reference)
+
+    return evaluate

@@ -1,0 +1,166 @@
+"""MobileNetV2 (Sandler et al. 2018) on the NumPy substrate.
+
+Conv layers are named ``L.0`` .. ``L.51`` in network order, matching the
+paper's Fig. 6(b)/(f) which flips ``L.47``, ``L.48``, ``L.50``, ``L.51``
+and ``fc`` (together ~70% of the weights):
+
+- ``L.0``      stem 3x3 conv
+- ``L.1..L.2`` first inverted residual (expand ratio 1: dw + pw)
+- then 16 blocks of (pw-expand, dw, pw-project): ``L.3`` .. ``L.50``
+- ``L.51``     final 1x1 conv (1280 channels)
+- ``fc``       classifier
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Linear,
+)
+from repro.nn.model import Model
+
+#: (expansion t, output channels c, repeats n, stride s) per stage.
+INVERTED_RESIDUAL_CFG = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+PRESETS = {
+    "paper": {"width": 1.0, "input_size": 224, "num_classes": 1000},
+    "tiny": {"width": 0.25, "input_size": 32, "num_classes": 10},
+}
+
+
+def _scaled(channels: int, width: float) -> int:
+    return max(8, int(round(channels * width)))
+
+
+class InvertedResidual:
+    def __init__(
+        self,
+        model: "MobileNetV2",
+        in_ch: int,
+        out_ch: int,
+        stride: int,
+        expand: int,
+    ) -> None:
+        self.stride = stride
+        self.use_residual = stride == 1 and in_ch == out_ch
+        hidden = in_ch * expand
+        self.layers: list[tuple[object, BatchNorm2d | None, bool]] = []
+        if expand != 1:
+            conv = model.add_conv(Conv2d(
+                in_ch, hidden, 1, 1, 0, bias=False,
+                seed=(model.name, model.next_index(), "pw-expand")))
+            self.layers.append((conv, model.make_bn(hidden), True))
+        dw = model.add_conv(DepthwiseConv2d(
+            hidden, 3, stride, 1, bias=False,
+            seed=(model.name, model.next_index(), "dw")))
+        self.layers.append((dw, model.make_bn(hidden), True))
+        pw = model.add_conv(Conv2d(
+            hidden, out_ch, 1, 1, 0, bias=False,
+            seed=(model.name, model.next_index(), "pw-project")))
+        self.layers.append((pw, model.make_bn(out_ch), False))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for conv, bn, activated in self.layers:
+            out = conv.forward(out)
+            if bn is not None:
+                out = bn.forward(out)
+            if activated:
+                out = F.relu6(out)
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class MobileNetV2(Model):
+    def __init__(self, preset: str = "paper") -> None:
+        super().__init__("mobilenetv2")
+        if preset not in PRESETS:
+            raise ValueError(f"unknown preset {preset!r}")
+        cfg = PRESETS[preset]
+        self.preset = preset
+        self.input_size = cfg["input_size"]
+        width = cfg["width"]
+        self._conv_index = 0
+        self._pending_index: int | None = None
+        self._bn_count = 0
+
+        stem_ch = _scaled(32, width)
+        self.stem = self.add_conv(Conv2d(
+            3, stem_ch, 3, 2, 1, bias=False,
+            seed=(self.name, self.next_index(), "stem")))
+        self.stem_bn = self.make_bn(stem_ch)
+
+        self.blocks: list[InvertedResidual] = []
+        in_ch = stem_ch
+        for t, c, n, s in INVERTED_RESIDUAL_CFG:
+            out_ch = _scaled(c, width)
+            for i in range(n):
+                stride = s if i == 0 else 1
+                self.blocks.append(
+                    InvertedResidual(self, in_ch, out_ch, stride, t))
+                in_ch = out_ch
+
+        head_ch = _scaled(1280, width)
+        self.head = self.add_conv(Conv2d(
+            in_ch, head_ch, 1, 1, 0, bias=False,
+            seed=(self.name, self.next_index(), "head")))
+        self.head_bn = self.make_bn(head_ch)
+        self.fc = self.add("fc", Linear(
+            head_ch, cfg["num_classes"], seed=(self.name, "fc")))
+
+    # -- registry helpers used during construction ----------------------
+    def next_index(self) -> int:
+        """Reserve the next ``L.N`` name for the conv being constructed."""
+        index = self._conv_index
+        self._conv_index += 1
+        self._pending_index = index
+        return index
+
+    def add_conv(self, conv: object) -> object:
+        if self._pending_index is None:
+            raise RuntimeError("call next_index() before add_conv()")
+        name = f"L.{self._pending_index}"
+        self._pending_index = None
+        return self.add(name, conv)
+
+    def make_bn(self, channels: int) -> BatchNorm2d:
+        self._bn_count += 1
+        return BatchNorm2d(channels, seed=(self.name, "bn", self._bn_count))
+
+    @property
+    def num_conv_layers(self) -> int:
+        return self._conv_index
+
+    # -- inference -------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = F.relu6(self.stem_bn.forward(self.stem.forward(x)))
+        for block in self.blocks:
+            out = block.forward(out)
+        out = F.relu6(self.head_bn.forward(self.head.forward(out)))
+        out = F.global_avg_pool2d(out)
+        return self.fc.forward(out)
+
+    def sample_inputs(self, batch: int, seed: object = 0) -> np.ndarray:
+        from repro.utils.rng import seeded_rng
+
+        rng = seeded_rng(self.name, "inputs", seed)
+        size = self.input_size
+        return rng.normal(0, 1, (batch, 3, size, size)).astype(np.float32)
+
+
+def build_mobilenetv2(preset: str = "paper") -> MobileNetV2:
+    return MobileNetV2(preset)

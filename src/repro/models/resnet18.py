@@ -1,0 +1,115 @@
+"""ResNet18 (He et al. 2015) on the NumPy substrate.
+
+Layer naming mirrors the paper's Fig. 6(a)/(e): ``conv1``,
+``layer{1..4}.{0,1}.conv{1,2}``, downsample convs, and ``fc``.  The
+paper's Bit-Flip study targets ``L.4.0``, ``L.4.1`` and ``fc`` which
+together hold ~70% of the network weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear, MaxPool2d, ReLU
+from repro.nn.model import Model
+
+#: Channel plan of the four stages.
+STAGE_CHANNELS = (64, 128, 256, 512)
+
+PRESETS = {
+    "paper": {"width": 1.0, "input_size": 224, "num_classes": 1000},
+    "tiny": {"width": 0.25, "input_size": 32, "num_classes": 10},
+}
+
+
+class BasicBlock:
+    """Two 3x3 convs with identity (or 1x1 projection) shortcut."""
+
+    def __init__(
+        self,
+        model: Model,
+        prefix: str,
+        in_ch: int,
+        out_ch: int,
+        stride: int,
+    ) -> None:
+        seed = (model.name, prefix)
+        self.conv1 = model.add(
+            f"{prefix}.conv1",
+            Conv2d(in_ch, out_ch, 3, stride, 1, bias=False,
+                   seed=seed + ("conv1",)))
+        self.bn1 = BatchNorm2d(out_ch, seed=seed + ("bn1",))
+        self.conv2 = model.add(
+            f"{prefix}.conv2",
+            Conv2d(out_ch, out_ch, 3, 1, 1, bias=False,
+                   seed=seed + ("conv2",)))
+        self.bn2 = BatchNorm2d(out_ch, seed=seed + ("bn2",))
+        self.downsample = None
+        if stride != 1 or in_ch != out_ch:
+            self.downsample = model.add(
+                f"{prefix}.downsample",
+                Conv2d(in_ch, out_ch, 1, stride, 0, bias=False,
+                       seed=seed + ("down",)))
+            self.down_bn = BatchNorm2d(out_ch, seed=seed + ("down_bn",))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        identity = x
+        out = F.relu(self.bn1.forward(self.conv1.forward(x)))
+        out = self.bn2.forward(self.conv2.forward(out))
+        if self.downsample is not None:
+            identity = self.down_bn.forward(self.downsample.forward(x))
+        return F.relu(out + identity)
+
+
+class ResNet18(Model):
+    def __init__(self, preset: str = "paper") -> None:
+        super().__init__("resnet18")
+        if preset not in PRESETS:
+            raise ValueError(f"unknown preset {preset!r}")
+        cfg = PRESETS[preset]
+        self.preset = preset
+        self.input_size = cfg["input_size"]
+        width = cfg["width"]
+        channels = [max(8, int(c * width)) for c in STAGE_CHANNELS]
+
+        self.conv1 = self.add(
+            "conv1",
+            Conv2d(3, channels[0], 7, 2, 3, bias=False,
+                   seed=(self.name, "conv1")))
+        self.bn1 = BatchNorm2d(channels[0], seed=(self.name, "bn1"))
+        self.maxpool = MaxPool2d(3, 2, 1)
+        self.relu = ReLU()
+
+        self.blocks: list[BasicBlock] = []
+        in_ch = channels[0]
+        for stage, out_ch in enumerate(channels, start=1):
+            for block in range(2):
+                stride = 2 if (stage > 1 and block == 0) else 1
+                self.blocks.append(
+                    BasicBlock(self, f"layer{stage}.{block}", in_ch, out_ch,
+                               stride))
+                in_ch = out_ch
+
+        self.fc = self.add(
+            "fc",
+            Linear(in_ch, cfg["num_classes"], seed=(self.name, "fc")))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.relu.forward(self.bn1.forward(self.conv1.forward(x)))
+        out = self.maxpool.forward(out)
+        for block in self.blocks:
+            out = block.forward(out)
+        out = F.global_avg_pool2d(out)
+        return self.fc.forward(out)
+
+    def sample_inputs(self, batch: int, seed: object = 0) -> np.ndarray:
+        from repro.utils.rng import seeded_rng
+
+        rng = seeded_rng(self.name, "inputs", seed)
+        size = self.input_size
+        return rng.normal(0, 1, (batch, 3, size, size)).astype(np.float32)
+
+
+def build_resnet18(preset: str = "paper") -> ResNet18:
+    return ResNet18(preset)

@@ -1,0 +1,50 @@
+"""Pure-NumPy DNN inference substrate.
+
+The paper evaluates BitWave on Int8-quantized ResNet18, MobileNetV2,
+CNN-LSTM and BERT-Base.  The original study ran PyTorch; this substrate
+re-implements the required inference operators from scratch in NumPy so
+the Bit-Flip accuracy experiments run with no framework dependency
+(substitution documented in DESIGN.md §2).
+"""
+
+from repro.nn import functional
+from repro.nn.attention import MultiHeadSelfAttention, TransformerEncoderLayer
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.lstm import LSTM
+from repro.nn.model import Model, QuantizedLayer
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Embedding",
+    "GELU",
+    "LSTM",
+    "LayerNorm",
+    "Linear",
+    "MaxPool2d",
+    "Model",
+    "MultiHeadSelfAttention",
+    "QuantizedLayer",
+    "ReLU",
+    "ReLU6",
+    "Sigmoid",
+    "Tanh",
+    "TransformerEncoderLayer",
+    "functional",
+]

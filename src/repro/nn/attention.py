@@ -1,0 +1,85 @@
+"""Multi-head self-attention and the transformer encoder block (BERT).
+
+Every projection (Q, K, V, output, and the two FFN matrices) is a
+quantized :class:`~repro.nn.layers.Linear`, so the whole encoder stack
+is visible to Bit-Flip -- matching the paper's BERT-Base experiments
+where ``bert.encoder.layer.N`` weights are flipped per layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import GELU, LayerNorm, Linear
+
+
+class MultiHeadSelfAttention:
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        seed: tuple[object, ...] = ("mhsa",),
+    ) -> None:
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query = Linear(dim, dim, seed=seed + ("q",))
+        self.key = Linear(dim, dim, seed=seed + ("k",))
+        self.value = Linear(dim, dim, seed=seed + ("v",))
+        self.out = Linear(dim, dim, seed=seed + ("o",))
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.num_heads, self.head_dim).transpose(
+            0, 2, 1, 3)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        q = self._split_heads(self.query.forward(x))
+        k = self._split_heads(self.key.forward(x))
+        v = self._split_heads(self.value.forward(x))
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+        attn = F.softmax(scores, axis=-1)
+        context = attn @ v  # (b, h, t, hd)
+        b, h, t, hd = context.shape
+        merged = context.transpose(0, 2, 1, 3).reshape(b, t, h * hd)
+        return self.out.forward(merged)
+
+    def projections(self) -> dict[str, Linear]:
+        return {
+            "query": self.query, "key": self.key,
+            "value": self.value, "output": self.out,
+        }
+
+
+class TransformerEncoderLayer:
+    """Pre-LN-free (original BERT post-LN) encoder block."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ffn_dim: int,
+        seed: tuple[object, ...] = ("encoder",),
+    ) -> None:
+        self.attention = MultiHeadSelfAttention(dim, num_heads, seed + ("attn",))
+        self.ln1 = LayerNorm(dim)
+        self.ffn_in = Linear(dim, ffn_dim, seed=seed + ("ffn_in",))
+        self.ffn_act = GELU()
+        self.ffn_out = Linear(ffn_dim, dim, seed=seed + ("ffn_out",))
+        self.ln2 = LayerNorm(dim)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.ln1.forward(x + self.attention.forward(x))
+        ffn = self.ffn_out.forward(self.ffn_act.forward(self.ffn_in.forward(x)))
+        return self.ln2.forward(x + ffn)
+
+    def quantized_sublayers(self) -> dict[str, Linear]:
+        layers = {
+            f"attention.{k}": v for k, v in self.attention.projections().items()
+        }
+        layers["ffn.intermediate"] = self.ffn_in
+        layers["ffn.output"] = self.ffn_out
+        return layers

@@ -1,0 +1,188 @@
+"""Stateless NumPy implementations of the DNN operators.
+
+Tensor layout conventions:
+
+- images: ``(batch, channels, height, width)`` -- NCHW, like the paper's
+  loop nests (B, C/K, OY, OX);
+- sequences: ``(batch, time, features)``.
+
+``conv2d`` uses im2col + GEMM, the standard lowering; correctness is
+pinned against direct convolution in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(value: int | tuple[int, int]) -> tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+def pad2d(x: np.ndarray, padding: int | tuple[int, int]) -> np.ndarray:
+    """Zero-pad the two trailing spatial dims of an NCHW tensor."""
+    py, px = _pair(padding)
+    if py == 0 and px == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (py, py), (px, px)))
+
+
+def im2col(
+    x: np.ndarray, kernel: tuple[int, int], stride: int,
+    padding: int | tuple[int, int],
+) -> tuple[np.ndarray, int, int]:
+    """Unfold sliding windows into a matrix.
+
+    Returns ``(cols, oh, ow)`` with ``cols`` of shape
+    ``(batch, C * fy * fx, oh * ow)``.
+    """
+    fy, fx = kernel
+    x = pad2d(x, padding)
+    b, c, h, w = x.shape
+    oh = (h - fy) // stride + 1
+    ow = (w - fx) // stride + 1
+    # Strided view: (b, c, fy, fx, oh, ow)
+    sb, sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(b, c, fy, fx, oh, ow),
+        strides=(sb, sc, sh, sw, sh * stride, sw * stride),
+        writeable=False,
+    )
+    cols = view.reshape(b, c * fy * fx, oh * ow)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int | tuple[int, int] = 0,
+) -> np.ndarray:
+    """2-D convolution; ``weight`` is ``(K, C, fy, fx)``."""
+    k, c, fy, fx = weight.shape
+    if x.shape[1] != c:
+        raise ValueError(f"input has {x.shape[1]} channels, weight expects {c}")
+    cols, oh, ow = im2col(x, (fy, fx), stride, padding)
+    w_mat = weight.reshape(k, c * fy * fx)
+    out = np.einsum("kf,bfo->bko", w_mat, cols, optimize=True)
+    if bias is not None:
+        out += bias[None, :, None]
+    return out.reshape(x.shape[0], k, oh, ow)
+
+
+def depthwise_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Depthwise convolution; ``weight`` is ``(C, 1, fy, fx)``."""
+    c, one, fy, fx = weight.shape
+    if one != 1:
+        raise ValueError("depthwise weight must have a singleton second dim")
+    if x.shape[1] != c:
+        raise ValueError(f"input has {x.shape[1]} channels, weight expects {c}")
+    cols, oh, ow = im2col(x, (fy, fx), stride, padding)
+    b = x.shape[0]
+    cols = cols.reshape(b, c, fy * fx, oh * ow)
+    w_mat = weight.reshape(c, fy * fx)
+    out = np.einsum("cf,bcfo->bco", w_mat, cols, optimize=True)
+    if bias is not None:
+        out += bias[None, :, None]
+    return out.reshape(b, c, oh, ow)
+
+
+def linear(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None
+) -> np.ndarray:
+    """Affine map on the trailing axis; ``weight`` is ``(out, in)``."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def max_pool2d(x: np.ndarray, kernel: int, stride: int, padding: int = 0) -> np.ndarray:
+    if padding:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            constant_values=-np.inf,
+        )
+    cols, oh, ow = im2col(x, (kernel, kernel), stride, 0)
+    b, c = x.shape[0], x.shape[1]
+    cols = cols.reshape(b, c, kernel * kernel, oh * ow)
+    return cols.max(axis=2).reshape(b, c, oh, ow)
+
+
+def avg_pool2d(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    cols, oh, ow = im2col(x, (kernel, kernel), stride, 0)
+    b, c = x.shape[0], x.shape[1]
+    cols = cols.reshape(b, c, kernel * kernel, oh * ow)
+    return cols.mean(axis=2).reshape(b, c, oh, ow)
+
+
+def global_avg_pool2d(x: np.ndarray) -> np.ndarray:
+    """NCHW -> NC (mean over spatial dims)."""
+    return x.mean(axis=(2, 3))
+
+
+def batch_norm2d(
+    x: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Inference-mode batch norm over the channel axis of NCHW."""
+    scale = gamma / np.sqrt(var + eps)
+    shift = beta - mean * scale
+    return x * scale[None, :, None, None] + shift[None, :, None, None]
+
+
+def layer_norm(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Layer norm over the trailing axis."""
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mu) / np.sqrt(var + eps) * gamma + beta
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu6(x: np.ndarray) -> np.ndarray:
+    return np.clip(x, 0.0, 6.0)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh approximation of GELU (the BERT variant)."""
+    return 0.5 * x * (1.0 + np.tanh(
+        np.sqrt(2.0 / np.pi) * (x + 0.044715 * x ** 3)))
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    expx = np.exp(x[~pos])
+    out[~pos] = expx / (1.0 + expx)
+    return out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)

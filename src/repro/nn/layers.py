@@ -1,0 +1,225 @@
+"""Layer classes for the NumPy substrate.
+
+Weighted layers are *born quantized*: their constructor draws realistic
+float weights and immediately symmetric-quantizes to Int8, because every
+experiment in the paper operates on Int8 networks.  ``forward`` runs in
+float32 on the dequantized weights (Int8 x scale), exactly the numerics
+of a dequantize-compute-requantize Int8 pipeline for the purposes of the
+fidelity experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.init import quantized_kaiming
+from repro.nn.model import QuantizedLayer
+from repro.utils.rng import seeded_rng
+
+
+class Conv2d(QuantizedLayer):
+    """Standard convolution; weight layout ``(K, C, fy, fx)``.
+
+    Group-axis layout transposes to ``(K, fy, fx, C)`` so that the
+    flattened innermost axis walks consecutive input channels of one
+    kernel, matching BitWave's column grouping.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | tuple[int, int],
+        stride: int = 1,
+        padding: int | tuple[int, int] = 0,
+        bias: bool = True,
+        seed: tuple[object, ...] = ("conv",),
+    ) -> None:
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fy, fx = kernel_size
+        shape = (out_channels, in_channels, fy, fx)
+        fan_in = in_channels * fy * fx
+        self.qweight = quantized_kaiming(shape, fan_in, *seed)
+        self.bias = np.zeros(out_channels, dtype=np.float32) if bias else None
+
+    def packed_weights(self) -> np.ndarray:
+        return np.ascontiguousarray(
+            self.qweight.values.transpose(0, 2, 3, 1)).reshape(
+                self.out_channels, -1)
+
+    def set_packed_weights(self, packed: np.ndarray) -> None:
+        k, c, fy, fx = self.qweight.shape
+        values = np.asarray(packed, dtype=np.int8).reshape(
+            k, fy, fx, c).transpose(0, 3, 1, 2)
+        self.qweight = self.qweight.with_values(np.ascontiguousarray(values))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+
+class DepthwiseConv2d(QuantizedLayer):
+    """Depthwise convolution; weight layout ``(C, 1, fy, fx)``.
+
+    Each kernel sees a single input channel, so the group axis is the
+    kernel's spatial footprint (the dataflow BitWave serves with SU7).
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        seed: tuple[object, ...] = ("dwconv",),
+    ) -> None:
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (channels, 1, kernel_size, kernel_size)
+        self.qweight = quantized_kaiming(
+            shape, kernel_size * kernel_size, *seed)
+        self.bias = np.zeros(channels, dtype=np.float32) if bias else None
+
+    def packed_weights(self) -> np.ndarray:
+        return self.qweight.values.reshape(self.channels, -1)
+
+    def set_packed_weights(self, packed: np.ndarray) -> None:
+        values = np.asarray(packed, dtype=np.int8).reshape(self.qweight.shape)
+        self.qweight = self.qweight.with_values(values)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.depthwise_conv2d(
+            x, self.weight, self.bias, self.stride, self.padding)
+
+
+class Linear(QuantizedLayer):
+    """Fully-connected layer; weight layout ``(out, in)`` (in innermost)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        seed: tuple[object, ...] = ("linear",),
+    ) -> None:
+        self.in_features = in_features
+        self.out_features = out_features
+        self.qweight = quantized_kaiming(
+            (out_features, in_features), in_features, *seed)
+        self.bias = np.zeros(out_features, dtype=np.float32) if bias else None
+
+    def packed_weights(self) -> np.ndarray:
+        return self.qweight.values
+
+    def set_packed_weights(self, packed: np.ndarray) -> None:
+        values = np.asarray(packed, dtype=np.int8).reshape(self.qweight.shape)
+        self.qweight = self.qweight.with_values(values)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.linear(x, self.weight, self.bias)
+
+
+class Embedding(QuantizedLayer):
+    """Token embedding; rows are looked up, group axis is the hidden dim."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        seed: tuple[object, ...] = ("embedding",),
+    ) -> None:
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.qweight = quantized_kaiming((vocab_size, dim), dim, *seed)
+
+    def packed_weights(self) -> np.ndarray:
+        return self.qweight.values
+
+    def set_packed_weights(self, packed: np.ndarray) -> None:
+        values = np.asarray(packed, dtype=np.int8).reshape(self.qweight.shape)
+        self.qweight = self.qweight.with_values(values)
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        return self.weight[token_ids]
+
+
+class BatchNorm2d:
+    """Inference-mode batch norm with fixed statistics.
+
+    The running statistics are drawn once per layer seed; BN parameters
+    are not quantized (the paper flips conv/fc/LSTM weights only).
+    """
+
+    def __init__(self, channels: int, seed: tuple[object, ...] = ("bn",)) -> None:
+        rng = seeded_rng("bn", *seed)
+        self.channels = channels
+        self.mean = rng.normal(0.0, 0.1, channels).astype(np.float32)
+        self.var = (rng.uniform(0.5, 1.5, channels)).astype(np.float32)
+        self.gamma = np.ones(channels, dtype=np.float32)
+        self.beta = np.zeros(channels, dtype=np.float32)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.batch_norm2d(x, self.mean, self.var, self.gamma, self.beta)
+
+
+class LayerNorm:
+    def __init__(self, dim: int) -> None:
+        self.dim = dim
+        self.gamma = np.ones(dim, dtype=np.float32)
+        self.beta = np.zeros(dim, dtype=np.float32)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.layer_norm(x, self.gamma, self.beta)
+
+
+class ReLU:
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.relu(x)
+
+
+class ReLU6:
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.relu6(x)
+
+
+class GELU:
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.gelu(x)
+
+
+class Sigmoid:
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.sigmoid(x)
+
+
+class Tanh:
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.tanh(x)
+
+
+class MaxPool2d:
+    def __init__(self, kernel: int, stride: int, padding: int = 0) -> None:
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.max_pool2d(x, self.kernel, self.stride, self.padding)
+
+
+class AvgPool2d:
+    def __init__(self, kernel: int, stride: int) -> None:
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.avg_pool2d(x, self.kernel, self.stride)

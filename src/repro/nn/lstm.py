@@ -1,0 +1,94 @@
+"""LSTM cell and stacked LSTM for the CNN-LSTM audio-denoising benchmark.
+
+Gate layout follows the PyTorch convention: the ``(4H, in)`` weight
+matrices stack input, forget, cell and output gates along the first
+axis.  Both the input-hidden and hidden-hidden matrices are quantized
+and exposed for Bit-Flip (they are "LSTM.0"/"LSTM.1" in the paper's
+Fig. 6(c), carrying ~80% of the network's weights).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.init import quantized_kaiming
+from repro.nn.model import QuantizedLayer
+
+
+class LSTMLayerWeights(QuantizedLayer):
+    """One LSTM layer's fused weights ``[W_ih | W_hh]`` as ``(4H, in+H)``.
+
+    Fusing the two matrices into a single quantized payload mirrors how
+    the accelerator sees an LSTM step: one big matmul over the
+    concatenated ``[x_t, h_{t-1}]`` vector -- and gives Bit-Flip a
+    single group axis (the concatenated input dimension).
+    """
+
+    def __init__(
+        self, input_size: int, hidden_size: int, seed: tuple[object, ...]
+    ) -> None:
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        shape = (4 * hidden_size, input_size + hidden_size)
+        self.qweight = quantized_kaiming(shape, input_size + hidden_size, *seed)
+        self.bias = np.zeros(4 * hidden_size, dtype=np.float32)
+        # Forget-gate bias of 1.0: standard LSTM practice.
+        self.bias[hidden_size:2 * hidden_size] = 1.0
+
+    def packed_weights(self) -> np.ndarray:
+        return self.qweight.values
+
+    def set_packed_weights(self, packed: np.ndarray) -> None:
+        values = np.asarray(packed, dtype=np.int8).reshape(self.qweight.shape)
+        self.qweight = self.qweight.with_values(values)
+
+    def step(
+        self, x_t: np.ndarray, h: np.ndarray, c: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One timestep: returns ``(h_next, c_next)``."""
+        fused = np.concatenate([x_t, h], axis=-1)
+        gates = F.linear(fused, self.weight, self.bias)
+        hs = self.hidden_size
+        i = F.sigmoid(gates[..., :hs])
+        f = F.sigmoid(gates[..., hs:2 * hs])
+        g = F.tanh(gates[..., 2 * hs:3 * hs])
+        o = F.sigmoid(gates[..., 3 * hs:])
+        c_next = f * c + i * g
+        h_next = o * F.tanh(c_next)
+        return h_next, c_next
+
+
+class LSTM:
+    """Stacked unidirectional LSTM over ``(batch, time, features)``."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        seed: tuple[object, ...] = ("lstm",),
+    ) -> None:
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.layers = [
+            LSTMLayerWeights(
+                input_size if i == 0 else hidden_size, hidden_size,
+                seed + (i,))
+            for i in range(num_layers)
+        ]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Returns the top layer's hidden sequence ``(batch, time, H)``."""
+        batch, time, _ = x.shape
+        sequence = x
+        for layer in self.layers:
+            h = np.zeros((batch, self.hidden_size), dtype=np.float32)
+            c = np.zeros((batch, self.hidden_size), dtype=np.float32)
+            outputs = np.empty(
+                (batch, time, self.hidden_size), dtype=np.float32)
+            for t in range(time):
+                h, c = layer.step(sequence[:, t, :], h, c)
+                outputs[:, t, :] = h
+            sequence = outputs
+        return sequence

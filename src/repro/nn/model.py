@@ -1,0 +1,107 @@
+"""Model base class and the quantized-layer protocol.
+
+A :class:`Model` is a named registry of layers with a ``forward`` method.
+Weighted layers implement the :class:`QuantizedLayer` interface which
+exposes their Int8 payload in *group-axis layout*: a 2-D view whose
+innermost axis walks consecutive input channels of one kernel -- the
+axis BitWave forms its bit-column groups along (paper Section III-A).
+
+The Bit-Flip experiments work purely through ``weights_int8()`` /
+``set_weights_int8()`` round-trips, so they stay agnostic of layer
+internals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.quant.qtensor import QTensor
+
+
+class QuantizedLayer:
+    """Mixin for layers carrying an Int8 weight payload.
+
+    Subclasses must set ``self.qweight`` (a :class:`QTensor` in the
+    layer's natural layout) and implement the two layout hooks.
+    """
+
+    qweight: QTensor
+
+    def packed_weights(self) -> np.ndarray:
+        """Int8 weights in group-axis layout (input channels innermost)."""
+        raise NotImplementedError
+
+    def set_packed_weights(self, packed: np.ndarray) -> None:
+        """Inverse of :meth:`packed_weights`."""
+        raise NotImplementedError
+
+    @property
+    def weight(self) -> np.ndarray:
+        """Dequantized float32 weights used by ``forward``."""
+        return self.qweight.dequantize()
+
+    @property
+    def weight_count(self) -> int:
+        return int(np.prod(self.qweight.shape))
+
+
+class Model:
+    """Ordered registry of named layers with quantized-weight plumbing."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._layers: dict[str, object] = {}
+
+    def add(self, name: str, layer: object) -> object:
+        if name in self._layers:
+            raise ValueError(f"duplicate layer name {name!r}")
+        self._layers[name] = layer
+        return layer
+
+    def layer(self, name: str) -> object:
+        return self._layers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._layers
+
+    def named_layers(self) -> Iterator[tuple[str, object]]:
+        yield from self._layers.items()
+
+    def named_quantized_layers(self) -> Iterator[tuple[str, QuantizedLayer]]:
+        for name, layer in self._layers.items():
+            if isinstance(layer, QuantizedLayer):
+                yield name, layer
+
+    def weights_int8(self) -> dict[str, np.ndarray]:
+        """Snapshot of all Int8 weights in group-axis layout."""
+        return {
+            name: layer.packed_weights()
+            for name, layer in self.named_quantized_layers()
+        }
+
+    def set_weights_int8(self, weights: dict[str, np.ndarray]) -> None:
+        """Install (possibly bit-flipped) Int8 weights; unknown names error."""
+        layers = dict(self.named_quantized_layers())
+        unknown = set(weights) - set(layers)
+        if unknown:
+            raise KeyError(f"unknown quantized layers: {sorted(unknown)}")
+        for name, packed in weights.items():
+            layers[name].set_packed_weights(packed)
+
+    def weight_counts(self) -> dict[str, int]:
+        return {
+            name: layer.weight_count
+            for name, layer in self.named_quantized_layers()
+        }
+
+    @property
+    def total_weights(self) -> int:
+        return sum(self.weight_counts().values())
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)

@@ -1,0 +1,18 @@
+"""Int8 post-training quantization (PTQ) for the NumPy substrate."""
+
+from repro.quant.observers import MinMaxObserver, PercentileObserver
+from repro.quant.qtensor import QTensor
+from repro.quant.quantizer import (
+    dequantize,
+    ptq_reduce_bits,
+    quantize_symmetric,
+)
+
+__all__ = [
+    "MinMaxObserver",
+    "PercentileObserver",
+    "QTensor",
+    "dequantize",
+    "ptq_reduce_bits",
+    "quantize_symmetric",
+]

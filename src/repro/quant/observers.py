@@ -1,0 +1,65 @@
+"""Range observers for post-training quantization.
+
+An observer watches one or more tensors and proposes the clipping range
+used to derive a quantization scale.  ``MinMaxObserver`` is PyTorch's
+default PTQ observer; ``PercentileObserver`` clips outliers, which is
+the common remedy for activation-range blowup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MinMaxObserver:
+    """Tracks the symmetric absolute maximum of observed tensors."""
+
+    def __init__(self) -> None:
+        self._amax = 0.0
+        self._count = 0
+
+    def observe(self, tensor: np.ndarray) -> None:
+        if tensor.size:
+            self._amax = max(self._amax, float(np.abs(tensor).max()))
+            self._count += 1
+
+    @property
+    def observed(self) -> bool:
+        return self._count > 0
+
+    def range(self) -> float:
+        """The symmetric clipping range [-range, +range]."""
+        if not self.observed:
+            raise RuntimeError("observer has seen no tensors")
+        return self._amax if self._amax > 0 else 1.0
+
+
+class PercentileObserver:
+    """Clips the range at a percentile of observed absolute values."""
+
+    def __init__(self, percentile: float = 99.9, max_samples: int = 1 << 20) -> None:
+        if not 0 < percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        self.percentile = percentile
+        self.max_samples = max_samples
+        self._samples: list[np.ndarray] = []
+
+    def observe(self, tensor: np.ndarray) -> None:
+        if not tensor.size:
+            return
+        flat = np.abs(np.asarray(tensor, dtype=np.float64)).reshape(-1)
+        if flat.size > self.max_samples:
+            stride = flat.size // self.max_samples + 1
+            flat = flat[::stride]
+        self._samples.append(flat)
+
+    @property
+    def observed(self) -> bool:
+        return bool(self._samples)
+
+    def range(self) -> float:
+        if not self.observed:
+            raise RuntimeError("observer has seen no tensors")
+        merged = np.concatenate(self._samples)
+        value = float(np.percentile(merged, self.percentile))
+        return value if value > 0 else 1.0

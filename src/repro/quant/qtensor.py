@@ -1,0 +1,40 @@
+"""Quantized tensor container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QTensor:
+    """A symmetric-quantized integer tensor with its scale.
+
+    ``float value = values * scale``.  ``bits`` records the nominal
+    precision (8 for Int8; lower after :func:`repro.quant.ptq_reduce_bits`).
+    """
+
+    values: np.ndarray
+    scale: float
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if not 1 <= self.bits <= 8:
+            raise ValueError(f"bits must be in [1, 8], got {self.bits}")
+
+    def dequantize(self) -> np.ndarray:
+        return self.values.astype(np.float32) * np.float32(self.scale)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.values.shape)
+
+    def with_values(self, values: np.ndarray) -> "QTensor":
+        """Same scale/precision, new integer payload (e.g. after Bit-Flip)."""
+        if values.shape != self.values.shape:
+            raise ValueError(
+                f"shape mismatch: {values.shape} vs {self.values.shape}")
+        return QTensor(values=values, scale=self.scale, bits=self.bits)

@@ -1,0 +1,56 @@
+"""Symmetric Int8 quantization and the sub-8-bit PTQ baseline.
+
+The paper quantizes fp32 weights with "PyTorch's common post-training
+quantization framework": symmetric per-tensor Int8 over [-127, 127]
+(symmetric so every value has a sign-magnitude encoding).
+
+``ptq_reduce_bits`` implements the Int8+PTQ comparison of Fig. 6(e)-(h):
+reducing precision below 8 bits by re-quantizing with a coarser step --
+equivalently truncating LSBs across the whole tensor -- which achieves
+the same compression ratio as storing fewer bits per weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.qtensor import QTensor
+
+INT8_LEVELS = 127
+
+
+def quantize_symmetric(
+    weights: np.ndarray, amax: float | None = None
+) -> QTensor:
+    """Quantize float weights to symmetric Int8 in [-127, 127]."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if amax is None:
+        amax = float(np.abs(weights).max()) if weights.size else 1.0
+    if amax <= 0:
+        amax = 1.0
+    scale = amax / INT8_LEVELS
+    values = np.clip(np.round(weights / scale), -INT8_LEVELS, INT8_LEVELS)
+    return QTensor(values=values.astype(np.int8), scale=scale, bits=8)
+
+
+def dequantize(qtensor: QTensor) -> np.ndarray:
+    return qtensor.dequantize()
+
+
+def ptq_reduce_bits(qtensor: QTensor, bits: int) -> QTensor:
+    """Re-quantize an Int8 tensor to ``bits`` bits (MSB-preserving).
+
+    The integer grid is coarsened by ``2**(8 - bits)``; the stored values
+    stay in the Int8 range so that the compression ratio is exactly
+    ``8 / bits`` when packed at ``bits`` bits per weight.
+    """
+    if not 1 <= bits <= 8:
+        raise ValueError(f"bits must be in [1, 8], got {bits}")
+    if bits == 8:
+        return qtensor
+    step = 1 << (8 - bits)
+    levels = (INT8_LEVELS + 1) // step - 1  # e.g. 7 for 4 bits
+    coarse = np.clip(
+        np.round(qtensor.values.astype(np.int32) / step), -levels, levels)
+    values = (coarse * step).astype(np.int8)
+    return QTensor(values=values, scale=qtensor.scale, bits=bits)

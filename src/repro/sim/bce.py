@@ -1,0 +1,80 @@
+"""BitWave Compute Engine (paper Fig. 8).
+
+A BCE multiplies one bit-column of grouped weights with the group's
+activations each cycle, following the five steps of Fig. 8:
+
+1. *Input loading* -- G activations, a Gx1b weight column, sign bits;
+2. *SMM* -- per-lane 1b x 8b sign-magnitude multiplication;
+3. *Partial sum accumulation* -- adder tree over the column's lanes;
+4. *Single shift* -- one shift for the whole column (the
+   "add-then-shift" structure that beats per-lane shifters);
+5. *Output generation* -- accumulate into the local output register.
+
+The BCE holds activations and signs in registers across the non-zero
+columns of the same weight group; only the weight bits change per cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.smm import smm_column_sum
+from repro.sim.zcip import ParsedIndex
+
+
+class BitColumnEngine:
+    """One BCE lane-group; processes one column group at a time."""
+
+    def __init__(self, group_size: int = 8) -> None:
+        if group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        self.group_size = group_size
+        self.cycles = 0
+        self.column_ops = 0
+
+    def process_group(
+        self,
+        activations: np.ndarray,
+        columns: np.ndarray,
+        signs: np.ndarray,
+        parsed: ParsedIndex,
+    ) -> np.ndarray:
+        """Run one group against a batch of activation contexts.
+
+        Parameters
+        ----------
+        activations:
+            ``(..., G)`` int activations; leading axes are independent
+            output contexts served by spatially-parallel BCEs (they do
+            not add cycles -- the weight column is broadcast).
+        columns:
+            ``(n_nonzero_columns, G)`` magnitude column bits in streaming
+            order (matching ``parsed.shifts``).
+        signs:
+            ``(G,)`` sign bits of the grouped weights.
+        parsed:
+            ZCIP output carrying the shift schedule.
+
+        Returns
+        -------
+        numpy.ndarray
+            Partial sums, shape ``activations.shape[:-1]`` (int64).
+        """
+        activations = np.asarray(activations, dtype=np.int64)
+        if activations.shape[-1] != self.group_size:
+            raise ValueError(
+                f"expected {self.group_size} activations, got "
+                f"{activations.shape[-1]}")
+        if columns.shape[0] != len(parsed.shifts):
+            raise ValueError(
+                f"{columns.shape[0]} columns but {len(parsed.shifts)} shifts")
+        accumulator = np.zeros(activations.shape[:-1], dtype=np.int64)
+        for column_bits, shift in zip(columns, parsed.shifts):
+            partial = smm_column_sum(activations, column_bits, signs)
+            accumulator += partial << np.int64(shift)
+            self.cycles += 1
+            self.column_ops += 1
+        if parsed.sign_request:
+            # Sign-column fetch occupies the pipe for one cycle.
+            self.cycles += 1
+        return accumulator

@@ -1,0 +1,49 @@
+"""Data dispatcher (paper Fig. 11): SU-programmable casting.
+
+The dispatcher routes fetched weight segments and activation words to
+BCE rows/columns using the casting strategy of the active SU: weights
+unicast per BCE row, activations unicast per row and broadcast across
+the kernel (K) columns -- "each plane of 8x16 BCEs receives the same
+1024-bit inputs, uni-casting a 64-bit input segment to each BCE row"
+(Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CastPlan:
+    """How one operand spreads over the BCE array under an SU."""
+
+    unicast_targets: int
+    broadcast_factor: int
+
+    @property
+    def total_destinations(self) -> int:
+        return self.unicast_targets * self.broadcast_factor
+
+
+class DataDispatcher:
+    """Derives casting plans and counts dispatched words."""
+
+    def __init__(self) -> None:
+        self.weight_words = 0
+        self.act_words = 0
+
+    def weight_plan(self, cu: int, ku: int) -> CastPlan:
+        """Weights: one stream per (C-slice, kernel) pair, no broadcast."""
+        return CastPlan(unicast_targets=max((cu * ku) // 8, 1),
+                        broadcast_factor=1)
+
+    def activation_plan(self, cu: int, oxu: int, ku: int) -> CastPlan:
+        """Activations: unicast per output-pixel row, broadcast across K."""
+        return CastPlan(unicast_targets=max(oxu * max(cu // 8, 1), 1),
+                        broadcast_factor=max(ku, 1))
+
+    def dispatch_weights(self, words: int) -> None:
+        self.weight_words += words
+
+    def dispatch_activations(self, words: int) -> None:
+        self.act_words += words

@@ -1,0 +1,78 @@
+"""Banked SRAM and DRAM stream models with access accounting.
+
+The simulator's memory models are deliberately simple -- byte-addressed
+stores with per-port access counters -- because the quantities the
+validation needs are the access counts and the stall cycles implied by
+port widths, not timing-accurate DRAM behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SramBank:
+    """One single-port SRAM bank of fixed word width."""
+
+    def __init__(self, size_bytes: int, word_bits: int = 64) -> None:
+        if word_bits % 8:
+            raise ValueError("word width must be a whole number of bytes")
+        self.size_bytes = size_bytes
+        self.word_bytes = word_bits // 8
+        self.data = np.zeros(size_bytes, dtype=np.uint8)
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, address: int, length: int) -> None:
+        if address < 0 or address + length > self.size_bytes:
+            raise IndexError(
+                f"access [{address}, {address + length}) outside bank of "
+                f"{self.size_bytes} bytes")
+
+    def write(self, address: int, payload: np.ndarray) -> None:
+        payload = np.asarray(payload, dtype=np.uint8).reshape(-1)
+        self._check(address, payload.size)
+        self.data[address:address + payload.size] = payload
+        self.writes += -(-payload.size // self.word_bytes)
+
+    def read(self, address: int, length: int) -> np.ndarray:
+        self._check(address, length)
+        self.reads += -(-length // self.word_bytes)
+        return self.data[address:address + length].copy()
+
+
+class BankedSram:
+    """N-bank SRAM; consecutive words interleave across banks."""
+
+    def __init__(self, banks: int, bank_bytes: int, word_bits: int = 64) -> None:
+        self.banks = [SramBank(bank_bytes, word_bits) for _ in range(banks)]
+
+    @property
+    def total_reads(self) -> int:
+        return sum(bank.reads for bank in self.banks)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(bank.writes for bank in self.banks)
+
+    def bank_for(self, index: int) -> SramBank:
+        return self.banks[index % len(self.banks)]
+
+
+class DramStream:
+    """Off-chip stream counting bytes in/out."""
+
+    def __init__(self, bits_per_cycle: int = 512) -> None:
+        self.bytes_per_cycle = bits_per_cycle / 8.0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def read(self, n_bytes: int) -> None:
+        self.bytes_read += int(n_bytes)
+
+    def write(self, n_bytes: int) -> None:
+        self.bytes_written += int(n_bytes)
+
+    @property
+    def transfer_cycles(self) -> float:
+        return (self.bytes_read + self.bytes_written) / self.bytes_per_cycle

@@ -1,0 +1,227 @@
+"""Top-level BitWave NPU simulator (paper Fig. 11).
+
+Executes fully-connected and convolution layers through the structural
+datapath -- ZCIP parsing of real BCS index bytes, BCE column processing,
+fetcher traffic at Table I bandwidths -- producing bit-exact integer
+outputs plus a cycle/traffic report.
+
+Cycle semantics match the analytical model of
+:mod:`repro.accelerators.bitwave`:
+
+- groups inside one 64-bit weight segment (8 adjacent kernels at the
+  same channel slice) advance in lockstep, so a segment context costs
+  the *maximum* sync counter of its groups;
+- the ``Ku / 8`` segments of a kernel tile stream through parallel
+  banks (pipelined, no cross-segment sync);
+- output contexts beyond the spatial ``OXu`` unroll serialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.signmag import sm_bitplanes
+from repro.sim.bce import BitColumnEngine
+from repro.sim.dispatcher import DataDispatcher
+from repro.sim.fetcher import DataFetcher
+from repro.sim.zcip import ParsedIndex, ZeroColumnIndexParser
+
+#: Kernels sharing one 64-bit weight segment (Fig. 10: "64 same
+#: significance weight bits from 8 input channels across 8 kernels").
+SEGMENT_KERNELS = 8
+
+
+@dataclass
+class LayerRun:
+    """Result of simulating one layer."""
+
+    outputs: np.ndarray
+    compute_cycles: int
+    fetch_cycles: int
+    column_ops: int
+    weight_bits_fetched: int
+    dense_weight_bits: int
+
+    @property
+    def total_cycles(self) -> int:
+        """Compute and fetch overlap; the longer stream dominates."""
+        return max(self.compute_cycles, self.fetch_cycles)
+
+    @property
+    def compression_ratio(self) -> float:
+        fetched = self.weight_bits_fetched
+        return self.dense_weight_bits / fetched if fetched else float("inf")
+
+
+class BitWaveNPU:
+    """Structural simulator of the 512-BCE array."""
+
+    def __init__(
+        self,
+        group_size: int = 8,
+        ku: int = 32,
+        oxu: int = 16,
+        weight_bw_bits: int = 256,
+        act_bw_bits: int = 1024,
+        dense_mode_precision: int | None = None,
+    ) -> None:
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        self.group_size = group_size
+        self.ku = ku
+        self.oxu = oxu
+        self.parser = ZeroColumnIndexParser(dense_mode_precision)
+        self.fetcher = DataFetcher(weight_bw_bits, act_bw_bits)
+        self.dispatcher = DataDispatcher()
+
+    # ------------------------------------------------------------------
+    def _encode_groups(
+        self, weights: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Group each kernel row and extract SM planes.
+
+        ``weights`` is ``(K, C)`` int8; returns ``(planes, signs, index)``
+        with planes ``(K, n_groups, 8, G)``, signs ``(K, n_groups, G)``
+        and index bytes ``(K, n_groups)`` exactly as BCS compression
+        would store them.
+        """
+        k, c = weights.shape
+        g = self.group_size
+        pad = (-c) % g
+        if pad:
+            weights = np.concatenate(
+                [weights, np.zeros((k, pad), dtype=np.int8)], axis=1)
+        groups = weights.reshape(k, -1, g)
+        planes = sm_bitplanes(groups, saturate=True)  # (K, ng, G, 8)
+        planes = planes.transpose(0, 1, 3, 2)  # (K, ng, 8, G)
+        signs = planes[:, :, 0, :]
+        nz_mask = planes.any(axis=3)  # (K, ng, 8)
+        bit_weights = (1 << np.arange(7, -1, -1)).astype(np.uint16)
+        index = (nz_mask * bit_weights).sum(axis=2).astype(np.uint8)
+        return planes, signs, index
+
+    def run_fc(self, weights: np.ndarray, activations: np.ndarray) -> LayerRun:
+        """Fully-connected layer: ``out[n, k] = sum_c a[n, c] * w[k, c]``.
+
+        ``weights`` is int8 ``(K, C)``; ``activations`` integer ``(N, C)``.
+        """
+        weights = np.asarray(weights, dtype=np.int8)
+        activations = np.asarray(activations)
+        if not np.issubdtype(activations.dtype, np.integer):
+            raise TypeError("simulator activations must be integers")
+        k, c = weights.shape
+        n = activations.shape[0]
+        if activations.shape[1] != c:
+            raise ValueError(
+                f"activation width {activations.shape[1]} != weight C {c}")
+
+        g = self.group_size
+        pad = (-c) % g
+        acts = activations.astype(np.int64)
+        if pad:
+            acts = np.concatenate(
+                [acts, np.zeros((n, pad), dtype=np.int64)], axis=1)
+        acts = acts.reshape(n, -1, g)  # (N, ng, G)
+
+        planes, signs, index_bytes = self._encode_groups(weights)
+        n_groups = planes.shape[1]
+
+        outputs = np.zeros((n, k), dtype=np.int64)
+        column_ops = 0
+        payload_bits = 0
+        context_repeats = -(-n // self.oxu)
+        parallel_streams = max(self.ku // SEGMENT_KERNELS, 1)
+
+        engine = BitColumnEngine(g)
+        for ki in range(k):
+            for gi in range(n_groups):
+                parsed = self.parser.parse(int(index_bytes[ki, gi]))
+                # Plane index of each streamed column (MSB-first
+                # magnitude order); dense mode streams every column of
+                # the configured precision.
+                selected = [7 - s for s in parsed.shifts]
+                columns = planes[ki, gi, selected, :]
+                outputs[:, ki] += engine.process_group(
+                    acts[:, gi, :], columns, signs[ki, gi], parsed)
+                column_ops += len(parsed.shifts)
+                payload_bits += (len(parsed.shifts)
+                                 + (1 if parsed.sign_request else 0)) * g
+        # Segment-level lockstep: kernels in blocks of 8 share the parser
+        # schedule, so a segment context costs the max sync counter.
+        sync = np.zeros((k, n_groups), dtype=np.int64)
+        for ki in range(k):
+            for gi in range(n_groups):
+                sync[ki, gi] = self.parser.parse(
+                    int(index_bytes[ki, gi])).sync_counter
+        pad_k = (-k) % SEGMENT_KERNELS
+        if pad_k:
+            sync = np.concatenate(
+                [sync, np.zeros((pad_k, n_groups), dtype=np.int64)], axis=0)
+        segment_sync = sync.reshape(-1, SEGMENT_KERNELS, n_groups).max(axis=1)
+        stream_cycles = int(segment_sync.sum())
+        compute_cycles = -(-stream_cycles // parallel_streams) * context_repeats
+
+        fetch_cycles = self.fetcher.fetch_weight_columns(payload_bits + 8 * k
+                                                         * n_groups)
+        fetch_cycles += self.fetcher.fetch_activations(n * c)
+        self.dispatcher.dispatch_weights(payload_bits // 8)
+        self.dispatcher.dispatch_activations(n * c)
+
+        return LayerRun(
+            outputs=outputs,
+            compute_cycles=int(compute_cycles),
+            fetch_cycles=int(fetch_cycles),
+            column_ops=column_ops,
+            weight_bits_fetched=payload_bits + 8 * k * n_groups,
+            dense_weight_bits=k * c * 8,
+        )
+
+    def run_conv(
+        self,
+        weights: np.ndarray,
+        activations: np.ndarray,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> LayerRun:
+        """Convolution via im2col onto the FC path.
+
+        ``weights`` int8 ``(K, C, FY, FX)``; ``activations`` integer
+        ``(B, C, H, W)``.  Outputs come back as ``(B, K, OH, OW)``.
+        """
+        weights = np.asarray(weights, dtype=np.int8)
+        activations = np.asarray(activations)
+        k, c, fy, fx = weights.shape
+        b = activations.shape[0]
+        if padding:
+            activations = np.pad(
+                activations,
+                ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        _, _, h, w = activations.shape
+        oh = (h - fy) // stride + 1
+        ow = (w - fx) // stride + 1
+        sb, sc, sh, sw = activations.strides
+        view = np.lib.stride_tricks.as_strided(
+            activations,
+            shape=(b, c, fy, fx, oh, ow),
+            strides=(sb, sc, sh, sw, sh * stride, sw * stride),
+            writeable=False,
+        )
+        # Group axis = consecutive input channels of one kernel: order
+        # the reduction as (fy, fx, c).
+        cols = np.ascontiguousarray(
+            view.transpose(0, 4, 5, 2, 3, 1)).reshape(
+                b * oh * ow, fy * fx * c)
+        w_mat = np.ascontiguousarray(
+            weights.transpose(0, 2, 3, 1)).reshape(k, fy * fx * c)
+        run = self.run_fc(w_mat, cols)
+        outputs = run.outputs.reshape(b, oh, ow, k).transpose(0, 3, 1, 2)
+        return LayerRun(
+            outputs=outputs,
+            compute_cycles=run.compute_cycles,
+            fetch_cycles=run.fetch_cycles,
+            column_ops=run.column_ops,
+            weight_bits_fetched=run.weight_bits_fetched,
+            dense_weight_bits=run.dense_weight_bits,
+        )

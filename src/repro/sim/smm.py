@@ -1,0 +1,50 @@
+"""Sign-magnitude bit-serial multiplier (paper Fig. 8, step 2).
+
+One SMM multiplies a single weight bit with a full-precision two's
+complement activation through an AND gate; the weight's sign (from the
+ZCIP) and the activation's sign jointly determine the partial product's
+sign.  Because the activation is kept in two's complement, the partial
+product is simply ``+activation`` or ``-activation`` gated by the bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def smm_partial_products(
+    activations: np.ndarray,
+    weight_bits: np.ndarray,
+    weight_signs: np.ndarray,
+) -> np.ndarray:
+    """Per-lane partial products of one bit column.
+
+    Parameters
+    ----------
+    activations:
+        Integer activations (two's complement values), shape ``(..., G)``.
+    weight_bits:
+        0/1 bits of the streamed column, broadcastable to activations.
+    weight_signs:
+        0/1 sign bits of the grouped weights (1 = negative).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``bit * (sign ? -activation : activation)`` per lane, int64.
+    """
+    activations = np.asarray(activations, dtype=np.int64)
+    bits = np.asarray(weight_bits, dtype=np.int64)
+    signs = np.asarray(weight_signs, dtype=np.int64)
+    signed_acts = np.where(signs.astype(bool), -activations, activations)
+    return bits * signed_acts
+
+
+def smm_column_sum(
+    activations: np.ndarray,
+    weight_bits: np.ndarray,
+    weight_signs: np.ndarray,
+) -> np.ndarray:
+    """Step 3 of Fig. 8: accumulate all lane partial products of a column."""
+    return smm_partial_products(
+        activations, weight_bits, weight_signs).sum(axis=-1)

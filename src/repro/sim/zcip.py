@@ -1,0 +1,71 @@
+"""Zero-Column Index Parser (paper Fig. 7).
+
+Each 8-bit weight index is split into its MSB (the sign column request)
+and the remaining 7 bits marking non-zero magnitude columns.  The parser
+emits the shift amount for every non-zero column in stream order and the
+``Sync.ctr`` cycle count the compute engine will spend on the group.
+
+In *dense mode* the parser generates the shift schedule locally from a
+precision configuration -- all columns down to the configured LSB --
+so deeply-quantized dense weights skip the index overhead entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParsedIndex:
+    """Decoded control for one column group.
+
+    ``shifts`` lists the bit significance (0 = LSB) of every non-zero
+    magnitude column in streaming order (MSB first), matching the
+    single-shift alignment applied after the BCE adder stage.
+    """
+
+    sign_request: bool
+    shifts: tuple[int, ...]
+    sync_counter: int
+
+    @property
+    def nonzero_columns(self) -> int:
+        return self.sync_counter
+
+
+class ZeroColumnIndexParser:
+    """One of BitWave's 128 8-bit index parsers."""
+
+    def __init__(self, dense_precision: int | None = None) -> None:
+        """``dense_precision`` switches the parser to dense mode with the
+        given weight bit-width (1..8, sign included)."""
+        if dense_precision is not None and not 1 <= dense_precision <= 8:
+            raise ValueError(
+                f"dense precision must be in [1, 8], got {dense_precision}")
+        self.dense_precision = dense_precision
+
+    @property
+    def dense_mode(self) -> bool:
+        return self.dense_precision is not None
+
+    def parse(self, index_byte: int) -> ParsedIndex:
+        """Decode one weight-index byte (ignored in dense mode)."""
+        if self.dense_mode:
+            magnitude_columns = self.dense_precision - 1
+            shifts = tuple(range(magnitude_columns - 1, -1, -1))
+            return ParsedIndex(
+                sign_request=True,
+                shifts=shifts,
+                sync_counter=self.dense_precision,
+            )
+        if not 0 <= index_byte <= 0xFF:
+            raise ValueError(f"index byte out of range: {index_byte}")
+        sign_request = bool(index_byte & 0x80)
+        shifts = tuple(
+            significance
+            for significance in range(6, -1, -1)
+            if index_byte & (1 << significance)
+        )
+        sync = len(shifts) + (1 if sign_request else 0)
+        return ParsedIndex(
+            sign_request=sign_request, shifts=shifts, sync_counter=sync)

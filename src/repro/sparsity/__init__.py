@@ -1,0 +1,16 @@
+"""Sparsity statistics: per-tensor and per-network profiles (Fig. 1)."""
+
+from repro.sparsity.stats import (
+    LayerWeightStats,
+    compute_layer_stats,
+    expected_max_of_sample,
+)
+from repro.sparsity.profiles import network_weight_stats, sparsity_summary
+
+__all__ = [
+    "LayerWeightStats",
+    "compute_layer_stats",
+    "expected_max_of_sample",
+    "network_weight_stats",
+    "sparsity_summary",
+]

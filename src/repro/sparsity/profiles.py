@@ -1,0 +1,45 @@
+"""Network-level sparsity profiles (cached).
+
+``network_weight_stats`` profiles every layer of a benchmark network's
+synthetic weights once and caches the result; the accelerator models and
+the Fig. 1 sparsity study both consume these profiles.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.sparsity.stats import LayerWeightStats, compute_layer_stats
+from repro.workloads.nets import network_layers
+from repro.workloads.synthetic import synthetic_weights
+
+
+@lru_cache(maxsize=None)
+def network_weight_stats(network: str) -> dict[str, LayerWeightStats]:
+    """``layer name -> LayerWeightStats`` for a benchmark network."""
+    stats: dict[str, LayerWeightStats] = {}
+    for spec in network_layers(network):
+        stats[spec.name] = compute_layer_stats(synthetic_weights(spec))
+    return stats
+
+
+def sparsity_summary(network: str) -> dict[str, float]:
+    """Weight-count-weighted network sparsity numbers (one Fig. 1 group).
+
+    Returns value sparsity, 2C and SM bit sparsity, plus the paper's
+    ``SR`` ratios (bit sparsity / value sparsity) for both formats.
+    """
+    stats = network_weight_stats(network)
+    total = sum(s.weight_count for s in stats.values())
+    value = sum(s.value_sparsity * s.weight_count for s in stats.values()) / total
+    bit_2c = sum(
+        s.bit_sparsity_2c * s.weight_count for s in stats.values()) / total
+    bit_sm = sum(
+        s.bit_sparsity_sm * s.weight_count for s in stats.values()) / total
+    return {
+        "value_sparsity": value,
+        "bit_sparsity_2c": bit_2c,
+        "bit_sparsity_sm": bit_sm,
+        "sr_2c": bit_2c / value if value else float("inf"),
+        "sr_sm": bit_sm / value if value else float("inf"),
+    }

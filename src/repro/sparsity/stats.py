@@ -1,0 +1,167 @@
+"""Per-tensor sparsity statistics consumed by the accelerator models.
+
+Everything the performance model (Section V-B STEP2) needs from a weight
+tensor is collected once into a :class:`LayerWeightStats`:
+
+- value sparsity ``Sw`` and bit sparsities ``Sw,b`` (2C and SM) --
+  the quantities of Fig. 1;
+- the *essential-bit* histogram (non-zero 2C bits per weight), which
+  drives Pragmatic's cycle model;
+- per-significance occupancy (fraction of ones at each bit position),
+  which drives Bitlet's interleaving model;
+- per-group non-zero-column histograms for each supported group size,
+  which drive BitWave's cycle model and BCS compression ratios.
+
+Histograms rather than raw arrays keep network-level profiles small;
+order statistics over accelerator sync domains are computed from the
+histograms with the i.i.d. max formula
+``E[max of m] = sum_v v * (F(v)^m - F(v-1)^m)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bitcolumn import group_weights, nonzero_column_counts
+from repro.core.compression import bcs_compress
+from repro.core.signmag import sm_bitplanes, twos_complement_bitplanes
+from repro.utils.bits import popcount8
+
+# Hardware-supported column sizes (Section III-C) plus 64 for the
+# depthwise SU7 dataflow's wider sync group.
+GROUP_SIZES = (8, 16, 32, 64)
+
+
+def expected_max_of_sample(histogram: np.ndarray, m: int) -> float:
+    """E[max of ``m`` i.i.d. draws] from a value histogram over 0..len-1."""
+    if m < 1:
+        raise ValueError(f"sample size must be >= 1, got {m}")
+    total = histogram.sum()
+    if total == 0:
+        return 0.0
+    cdf = np.cumsum(histogram) / total
+    cdf_prev = np.concatenate([[0.0], cdf[:-1]])
+    values = np.arange(len(histogram))
+    return float((values * (cdf ** m - cdf_prev ** m)).sum())
+
+
+@dataclass(frozen=True)
+class LayerWeightStats:
+    """Sparsity profile of one layer's Int8 weights."""
+
+    weight_count: int
+    value_sparsity: float
+    bit_sparsity_2c: float
+    bit_sparsity_sm: float
+    #: Histogram (length 9) of non-zero 2C bits per weight.
+    essential_bits_hist: np.ndarray
+    #: Fraction of ones at each bit position (2C, MSB first; length 8).
+    significance_occupancy: np.ndarray
+    #: ``G -> histogram (length 9) of non-zero columns per group``.
+    nz_column_hists: dict[int, np.ndarray]
+    #: ``G -> real BCS compression ratio`` (with index overhead).
+    bcs_cr: dict[int, float]
+    #: ``G -> ideal BCS compression ratio`` (payload only).
+    bcs_cr_ideal: dict[int, float]
+
+    @property
+    def essential_bits_mean(self) -> float:
+        hist = self.essential_bits_hist
+        total = hist.sum()
+        if total == 0:
+            return 0.0
+        return float((np.arange(9) * hist).sum() / total)
+
+    def mean_nz_columns(self, group_size: int) -> float:
+        hist = self.nz_column_hists[group_size]
+        total = hist.sum()
+        if total == 0:
+            return 0.0
+        return float((np.arange(9) * hist).sum() / total)
+
+    def expected_max_nz_columns(self, group_size: int, domain: int) -> float:
+        """E[max non-zero columns] over a sync domain of ``domain`` groups."""
+        return expected_max_of_sample(self.nz_column_hists[group_size], domain)
+
+    def expected_max_essential_bits(self, domain: int) -> float:
+        """E[max essential bits] over ``domain`` lock-stepped weights."""
+        return expected_max_of_sample(self.essential_bits_hist, domain)
+
+    def with_bitflip(self, target_zero_columns: int) -> "LayerWeightStats":
+        """Stats after Bit-Flip at the given per-group target.
+
+        Bit-Flip guarantees every group ends with at least
+        ``target_zero_columns`` zero columns, i.e. at most
+        ``8 - target`` non-zero columns; groups already satisfying the
+        target keep their counts.  The transformed histogram is exact
+        (see :func:`repro.core.bitflip.flip_groups`), so network-scale
+        performance modeling never needs to materialize flipped weights.
+        """
+        cap = 8 - target_zero_columns
+        hists = {}
+        crs = {}
+        crs_ideal = {}
+        for g, hist in self.nz_column_hists.items():
+            capped = hist.copy().astype(np.int64)
+            overflow = capped[cap + 1:].sum()
+            capped[cap + 1:] = 0
+            capped[cap] += overflow
+            hists[g] = capped
+            n_groups = int(capped.sum())
+            payload_bits = float((np.arange(9) * capped).sum()) * g
+            index_bits = n_groups * 8.0
+            original_bits = self.weight_count * 8.0
+            crs[g] = original_bits / max(payload_bits + index_bits, 1.0)
+            crs_ideal[g] = original_bits / max(payload_bits, 1.0)
+        return LayerWeightStats(
+            weight_count=self.weight_count,
+            value_sparsity=self.value_sparsity,
+            bit_sparsity_2c=self.bit_sparsity_2c,
+            bit_sparsity_sm=self.bit_sparsity_sm,
+            essential_bits_hist=self.essential_bits_hist,
+            significance_occupancy=self.significance_occupancy,
+            nz_column_hists=hists,
+            bcs_cr=crs,
+            bcs_cr_ideal=crs_ideal,
+        )
+
+
+def compute_layer_stats(
+    weights: np.ndarray,
+    group_sizes: tuple[int, ...] = GROUP_SIZES,
+) -> LayerWeightStats:
+    """Collect the full sparsity profile of an Int8 weight tensor."""
+    flat = np.asarray(weights, dtype=np.int8).reshape(-1)
+    n = flat.size
+    if n == 0:
+        raise ValueError("cannot profile an empty tensor")
+
+    tc_planes = twos_complement_bitplanes(flat)
+    sm_planes = sm_bitplanes(flat, saturate=True)
+    essential = popcount8(flat.view(np.uint8))
+    essential_hist = np.bincount(essential, minlength=9).astype(np.int64)
+
+    nz_hists: dict[int, np.ndarray] = {}
+    crs: dict[int, float] = {}
+    crs_ideal: dict[int, float] = {}
+    for g in group_sizes:
+        groups = group_weights(weights, g)
+        counts = nonzero_column_counts(groups, fmt="sm")
+        nz_hists[g] = np.bincount(counts, minlength=9).astype(np.int64)
+        compressed = bcs_compress(weights, g)
+        crs[g] = compressed.compression_ratio
+        crs_ideal[g] = compressed.ideal_compression_ratio
+
+    return LayerWeightStats(
+        weight_count=n,
+        value_sparsity=float((flat == 0).mean()),
+        bit_sparsity_2c=float(1.0 - tc_planes.mean()),
+        bit_sparsity_sm=float(1.0 - sm_planes.mean()),
+        essential_bits_hist=essential_hist,
+        significance_occupancy=tc_planes.mean(axis=0),
+        nz_column_hists=nz_hists,
+        bcs_cr=crs,
+        bcs_cr_ideal=crs_ideal,
+    )

@@ -1,0 +1,47 @@
+"""Low-level bit manipulation helpers on NumPy integer arrays.
+
+All bit-plane conventions in this repository are MSB-first: plane index 0
+is bit 7 (the sign bit for Int8), plane index 7 is bit 0 (the LSB).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POPCOUNT_TABLE = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+)
+
+
+def unpack_bits(values: np.ndarray) -> np.ndarray:
+    """Unpack a uint8 array into bit planes along a trailing axis.
+
+    Parameters
+    ----------
+    values:
+        Array of dtype ``uint8`` (any shape).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``values.shape + (8,)`` and dtype ``uint8`` where
+        index 0 of the trailing axis is the MSB.
+    """
+    values = np.asarray(values, dtype=np.uint8)
+    return np.unpackbits(values[..., None], axis=-1)
+
+
+def pack_bits(planes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`unpack_bits`: pack a trailing 8-bit axis to uint8."""
+    planes = np.asarray(planes, dtype=np.uint8)
+    if planes.shape[-1] != 8:
+        raise ValueError(
+            f"expected trailing axis of length 8, got {planes.shape[-1]}"
+        )
+    return np.packbits(planes, axis=-1)[..., 0]
+
+
+def popcount8(values: np.ndarray) -> np.ndarray:
+    """Per-element population count of a uint8 array."""
+    values = np.asarray(values, dtype=np.uint8)
+    return _POPCOUNT_TABLE[values]

@@ -1,0 +1,24 @@
+"""Deterministic random number generation for reproducible experiments."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def seeded_rng(*tokens: object) -> np.random.Generator:
+    """Create a :class:`numpy.random.Generator` from a tuple of tokens.
+
+    The tokens (layer names, experiment ids, integers, ...) are hashed so
+    that every call site in the repository derives an independent but
+    fully reproducible stream.
+
+    >>> a = seeded_rng("resnet18", "conv1")
+    >>> b = seeded_rng("resnet18", "conv1")
+    >>> float(a.standard_normal()) == float(b.standard_normal())
+    True
+    """
+    digest = hashlib.sha256("\x1f".join(map(str, tokens)).encode()).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    return np.random.default_rng(seed)

@@ -1,0 +1,23 @@
+"""Layer-shape databases for the four benchmark networks (Fig. 12 left)."""
+
+from repro.workloads.nets import (
+    NETWORKS,
+    bert_base_layers,
+    cnn_lstm_layers,
+    mobilenetv2_layers,
+    network_layers,
+    resnet18_layers,
+)
+from repro.workloads.spec import LayerSpec
+from repro.workloads.synthetic import synthetic_weights
+
+__all__ = [
+    "LayerSpec",
+    "NETWORKS",
+    "bert_base_layers",
+    "cnn_lstm_layers",
+    "mobilenetv2_layers",
+    "network_layers",
+    "resnet18_layers",
+    "synthetic_weights",
+]

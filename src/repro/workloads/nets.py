@@ -1,0 +1,163 @@
+"""Per-network layer tables at the paper's published dimensions.
+
+Workload set of Fig. 12 (left): ResNet18 and MobileNetV2 at 224x224,
+the CNN-LSTM audio denoiser, and BERT-Base at input token size 4 (the
+size used in the paper's Fig. 13).
+
+Activation value-sparsity metadata follows the paper's Section I
+observation: ReLU/ReLU6 networks see substantial activation sparsity
+(we use the commonly-measured ~50%/~45%), while sigmoid/tanh (LSTM) and
+GELU (BERT) activations are nearly dense.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import LayerSpec
+
+#: Input-activation value sparsity by producing activation function.
+RELU_SPARSITY = 0.50
+RELU6_SPARSITY = 0.45
+LSTM_SPARSITY = 0.02
+GELU_SPARSITY = 0.05
+DENSE_INPUT = 0.0
+
+
+def resnet18_layers(batch: int = 1) -> list[LayerSpec]:
+    """ResNet18 at 224x224: 20 convs + fc (He et al. 2015, Table 1)."""
+    layers = [LayerSpec("conv1", "resnet18", "conv", k=64, c=3,
+                        ox=112, oy=112, fx=7, fy=7, b=batch,
+                        input_value_sparsity=DENSE_INPUT)]
+    stage_cfg = [  # (stage, channels, spatial)
+        (1, 64, 56), (2, 128, 28), (3, 256, 14), (4, 512, 7),
+    ]
+    in_ch = 64
+    for stage, ch, size in stage_cfg:
+        for block in range(2):
+            downsampling = stage > 1 and block == 0
+            layers.append(LayerSpec(
+                f"layer{stage}.{block}.conv1", "resnet18", "conv",
+                k=ch, c=in_ch if block == 0 else ch, ox=size, oy=size,
+                fx=3, fy=3, b=batch, input_value_sparsity=RELU_SPARSITY))
+            layers.append(LayerSpec(
+                f"layer{stage}.{block}.conv2", "resnet18", "conv",
+                k=ch, c=ch, ox=size, oy=size, fx=3, fy=3, b=batch,
+                input_value_sparsity=RELU_SPARSITY))
+            if downsampling:
+                layers.append(LayerSpec(
+                    f"layer{stage}.{block}.downsample", "resnet18", "pwconv",
+                    k=ch, c=in_ch, ox=size, oy=size, b=batch,
+                    input_value_sparsity=RELU_SPARSITY))
+        in_ch = ch
+    layers.append(LayerSpec("fc", "resnet18", "fc", k=1000, c=512, ox=1,
+                            b=batch, input_value_sparsity=RELU_SPARSITY))
+    return layers
+
+
+#: MobileNetV2 inverted-residual plan: (expansion, channels, repeats, stride).
+_MBV2_CFG = (
+    (1, 16, 1, 1), (6, 24, 2, 2), (6, 32, 3, 2), (6, 64, 4, 2),
+    (6, 96, 3, 1), (6, 160, 3, 2), (6, 320, 1, 1),
+)
+
+
+def mobilenetv2_layers(batch: int = 1) -> list[LayerSpec]:
+    """MobileNetV2 at 224x224, conv layers named L.0 .. L.51 + fc."""
+    layers: list[LayerSpec] = []
+    index = 0
+
+    def add(kind: str, k: int, c: int, size: int, fx: int = 1,
+            sparsity: float = RELU6_SPARSITY) -> None:
+        nonlocal index
+        layers.append(LayerSpec(
+            f"L.{index}", "mobilenetv2", kind, k=k, c=c, ox=size, oy=size,
+            fx=fx, fy=fx, b=batch, input_value_sparsity=sparsity))
+        index += 1
+
+    add("conv", 32, 3, 112, fx=3, sparsity=DENSE_INPUT)  # stem
+    in_ch, size = 32, 112
+    for t, c_out, n, s in _MBV2_CFG:
+        for i in range(n):
+            stride = s if i == 0 else 1
+            hidden = in_ch * t
+            out_size = size // stride
+            if t != 1:
+                add("pwconv", hidden, in_ch, size)
+            add("dwconv", hidden, 1, out_size, fx=3)
+            add("pwconv", c_out, hidden, out_size)
+            in_ch, size = c_out, out_size
+    add("pwconv", 1280, 320, 7)  # head = L.51
+    layers.append(LayerSpec("fc", "mobilenetv2", "fc", k=1000, c=1280, ox=1,
+                            b=batch, input_value_sparsity=RELU6_SPARSITY))
+    return layers
+
+
+def cnn_lstm_layers(batch: int = 1, frames: int = 16,
+                    bins: int = 257, hidden: int = 512) -> list[LayerSpec]:
+    """CNN-LSTM denoiser: temporal-conv front-end + 2 LSTMs + decoder.
+
+    The front-end is the canonical speech-enhancement structure: 1-D
+    convolutions over time with the spectral bins as channels.  LSTM
+    layers map to the nest as per-timestep matmuls over the fused
+    ``[x_t, h_{t-1}]`` input: ``K = 4H``, ``C = in + H``, ``OX = frames``.
+    """
+    return [
+        LayerSpec("conv.0", "cnn_lstm", "conv", k=64, c=bins, ox=frames,
+                  oy=1, fx=3, fy=1, b=batch,
+                  input_value_sparsity=DENSE_INPUT),
+        LayerSpec("conv.1", "cnn_lstm", "conv", k=bins, c=64, ox=frames,
+                  oy=1, fx=3, fy=1, b=batch,
+                  input_value_sparsity=RELU_SPARSITY),
+        LayerSpec("LSTM.0", "cnn_lstm", "fc", k=4 * hidden, c=bins + hidden,
+                  ox=frames, b=batch, input_value_sparsity=LSTM_SPARSITY),
+        LayerSpec("LSTM.1", "cnn_lstm", "fc", k=4 * hidden, c=2 * hidden,
+                  ox=frames, b=batch, input_value_sparsity=LSTM_SPARSITY),
+        LayerSpec("fc", "cnn_lstm", "fc", k=bins, c=hidden, ox=frames,
+                  b=batch, input_value_sparsity=LSTM_SPARSITY),
+    ]
+
+
+def bert_base_layers(batch: int = 1, tokens: int = 4,
+                     num_blocks: int = 12) -> list[LayerSpec]:
+    """BERT-Base encoder weight matmuls at the paper's token size 4."""
+    dim, ffn = 768, 3072
+    layers: list[LayerSpec] = []
+    for i in range(num_blocks):
+        prefix = f"Layer.{i}"
+        for proj in ("query", "key", "value"):
+            layers.append(LayerSpec(
+                f"{prefix}.attention.{proj}", "bert_base", "fc",
+                k=dim, c=dim, ox=tokens, b=batch,
+                input_value_sparsity=DENSE_INPUT))
+        layers.append(LayerSpec(
+            f"{prefix}.attention.output", "bert_base", "fc",
+            k=dim, c=dim, ox=tokens, b=batch,
+            input_value_sparsity=DENSE_INPUT))
+        layers.append(LayerSpec(
+            f"{prefix}.ffn.intermediate", "bert_base", "fc",
+            k=ffn, c=dim, ox=tokens, b=batch,
+            input_value_sparsity=DENSE_INPUT))
+        layers.append(LayerSpec(
+            f"{prefix}.ffn.output", "bert_base", "fc",
+            k=dim, c=ffn, ox=tokens, b=batch,
+            input_value_sparsity=GELU_SPARSITY))
+    layers.append(LayerSpec(
+        "qa_outputs", "bert_base", "fc", k=2, c=dim, ox=tokens, b=batch,
+        input_value_sparsity=DENSE_INPUT))
+    return layers
+
+
+NETWORKS = ("resnet18", "mobilenetv2", "cnn_lstm", "bert_base")
+
+_BUILDERS = {
+    "resnet18": resnet18_layers,
+    "mobilenetv2": mobilenetv2_layers,
+    "cnn_lstm": cnn_lstm_layers,
+    "bert_base": bert_base_layers,
+}
+
+
+def network_layers(network: str, batch: int = 1) -> list[LayerSpec]:
+    """Layer table of one of the four benchmark networks."""
+    if network not in _BUILDERS:
+        raise ValueError(f"unknown network {network!r}; one of {NETWORKS}")
+    return _BUILDERS[network](batch=batch)

@@ -1,0 +1,95 @@
+"""Layer specification: the 7-dim loop nest of Fig. 2.
+
+A :class:`LayerSpec` captures the dimensions the paper's loop nests use:
+
+- ``B``  batch
+- ``K``  output channels / kernels
+- ``C``  input channels
+- ``OX, OY``  output feature map width/height
+- ``FX, FY``  kernel width/height
+
+Fully-connected and attention matmuls map onto the same nest with
+``OX = tokens``, ``OY = FX = FY = 1`` (the standard im2col view).
+Depthwise convolutions have ``C = 1`` per kernel with ``K`` kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Layer kinds; depthwise ("dwconv") and pointwise ("pwconv") get their
+#: own tags because the dataflow analysis (Fig. 9) treats them as
+#: distinct workload classes.
+KINDS = ("conv", "dwconv", "pwconv", "fc")
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer's loop dimensions plus workload metadata."""
+
+    name: str
+    network: str
+    kind: str
+    k: int
+    c: int
+    ox: int
+    oy: int = 1
+    fx: int = 1
+    fy: int = 1
+    b: int = 1
+    #: Value sparsity of this layer's *input* activations (drives SCNN's
+    #: activation skipping).  Dense inputs (images, embeddings) are 0.
+    input_value_sparsity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown layer kind {self.kind!r}")
+        for dim in ("k", "c", "ox", "oy", "fx", "fy", "b"):
+            if getattr(self, dim) < 1:
+                raise ValueError(f"{dim} must be >= 1 in {self.name}")
+        if not 0.0 <= self.input_value_sparsity < 1.0:
+            raise ValueError(
+                f"input_value_sparsity out of range in {self.name}")
+
+    @property
+    def dims(self) -> dict[str, int]:
+        return {
+            "B": self.b, "K": self.k, "C": self.c,
+            "OX": self.ox, "OY": self.oy, "FX": self.fx, "FY": self.fy,
+        }
+
+    @property
+    def macs(self) -> int:
+        """Total MAC count of the nest."""
+        total = 1
+        for value in self.dims.values():
+            total *= value
+        return total
+
+    @property
+    def weight_count(self) -> int:
+        if self.kind == "dwconv":
+            return self.k * self.fx * self.fy
+        return self.k * self.c * self.fx * self.fy
+
+    @property
+    def input_count(self) -> int:
+        """Input activation elements (unit stride approximation)."""
+        if self.kind == "dwconv":
+            channels = self.k
+        else:
+            channels = self.c
+        return self.b * channels * (self.ox + self.fx - 1) * (self.oy + self.fy - 1)
+
+    @property
+    def output_count(self) -> int:
+        return self.b * self.k * self.ox * self.oy
+
+    def scaled(self, batch: int) -> "LayerSpec":
+        """Same layer at a different batch size."""
+        return LayerSpec(
+            name=self.name, network=self.network, kind=self.kind,
+            k=self.k, c=self.c, ox=self.ox, oy=self.oy,
+            fx=self.fx, fy=self.fy, b=batch,
+            input_value_sparsity=self.input_value_sparsity,
+        )

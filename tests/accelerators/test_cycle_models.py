@@ -1,0 +1,202 @@
+"""Unit tests for the per-accelerator cycle/energy hooks."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.bitlet import (
+    Bitlet,
+    expected_max_significance_population,
+)
+from repro.accelerators.bitwave import (
+    BitWave,
+    DENSE_SU,
+    TABLE_I,
+    bitflip_targets_for,
+)
+from repro.accelerators.pragmatic import Pragmatic
+from repro.accelerators.scnn import SCNN, load_imbalance, zre_cr_from_sparsity
+from repro.accelerators.stripes import Stripes
+from repro.sparsity.stats import compute_layer_stats
+from repro.workloads.spec import LayerSpec
+
+
+def _stats(rng_scale=9.0, n=4096):
+    rng = np.random.default_rng(11)
+    w = np.clip(np.round(rng.laplace(0, rng_scale, n)), -127, 127)
+    return compute_layer_stats(w.astype(np.int8))
+
+
+def _conv():
+    return LayerSpec("t", "n", "conv", k=64, c=64, ox=28, oy=28, fx=3, fy=3)
+
+
+def _fc(ox=4):
+    return LayerSpec("t", "n", "fc", k=768, c=768, ox=ox)
+
+
+class TestStripes:
+    def test_always_8_cycles_per_mac(self):
+        acc = Stripes()
+        spec = _conv()
+        su = acc.sus[0]
+        cycles = acc.compute_cycles(spec, _stats(), su)
+        assert cycles == pytest.approx(
+            spec.macs * 8 / su.macs_per_cycle(spec))
+
+
+class TestPragmatic:
+    def test_cpm_below_8_above_mean(self):
+        acc = Pragmatic()
+        stats = _stats()
+        cpm = acc.cycles_per_mac(stats)
+        assert stats.essential_bits_mean < cpm < 8.0
+
+    def test_faster_than_stripes(self):
+        spec = _conv()
+        stats = _stats()
+        prag = Pragmatic()
+        stripes = Stripes()
+        assert prag.compute_cycles(spec, stats, prag.sus[0]) < \
+            stripes.compute_cycles(spec, stats, stripes.sus[0])
+
+
+class TestBitlet:
+    def test_expected_max_dense_is_m(self):
+        occupancy = np.ones(8)
+        assert expected_max_significance_population(occupancy, 8) == \
+            pytest.approx(8.0)
+
+    def test_expected_max_zero_occupancy(self):
+        assert expected_max_significance_population(np.zeros(8), 8) == 0.0
+
+    def test_teeming_significances_dominate(self):
+        """One dense significance pins the cycle count (the paper's
+        'bit-significance teeming with non-zero bits' effect)."""
+        skewed = np.array([0.05] * 7 + [0.95])
+        uniform = np.full(8, 0.4)
+        m = 8
+        assert expected_max_significance_population(skewed, m) > \
+            expected_max_significance_population(uniform, m) * 0.9
+
+    def test_metadata_overhead(self):
+        assert Bitlet().sram_weight_overhead() > 1.0
+
+
+class TestScnnHelpers:
+    def test_zre_cr_dense_below_one(self):
+        assert zre_cr_from_sparsity(0.05) < 1.0
+
+    def test_zre_cr_grows_with_sparsity(self):
+        crs = [zre_cr_from_sparsity(s) for s in (0.0, 0.3, 0.6, 0.9)]
+        assert crs == sorted(crs)
+
+    def test_imbalance_at_least_one(self):
+        for s in (0.0, 0.05, 0.5, 0.95):
+            assert load_imbalance(s) >= 1.0
+
+    def test_imbalance_grows_with_sparsity(self):
+        # Sparser tiles have relatively more spread between PEs.
+        assert load_imbalance(0.9) > load_imbalance(0.1)
+
+    def test_fc_dataflow_degeneracy(self):
+        scnn = SCNN()
+        assert scnn.dataflow_efficiency(_fc()) < \
+            scnn.dataflow_efficiency(_conv())
+
+    def test_pointwise_penalized(self):
+        scnn = SCNN()
+        pw = LayerSpec("t", "n", "pwconv", k=96, c=16, ox=56, oy=56)
+        assert scnn.dataflow_efficiency(pw) == pytest.approx(
+            scnn.dataflow_efficiency(_conv()) / 4)
+
+
+class TestBitWaveConfig:
+    def test_variant_names(self):
+        assert BitWave("fixed", "dense", False).name == "BitWave-Dense"
+        assert BitWave("dynamic", "dense", False).name == "BitWave+DF"
+        assert BitWave("dynamic", "sm", False).name == "BitWave+DF+SM"
+        assert BitWave("dynamic", "sm", True).name == "BitWave+DF+SM+BF"
+
+    def test_bitflip_requires_sm(self):
+        with pytest.raises(ValueError, match="sign-magnitude"):
+            BitWave("dynamic", "dense", True)
+
+    def test_invalid_dataflow(self):
+        with pytest.raises(ValueError, match="dataflow"):
+            BitWave("adaptive", "sm", True)
+
+    def test_table_i_has_7_sus(self):
+        assert len(TABLE_I) == 7
+        names = [entry.name for entry in TABLE_I]
+        assert names == [f"SU{i}" for i in range(1, 8)]
+
+    def test_table_i_bandwidths(self):
+        """Table I: W BW = Cu x Ku bits/cycle for the conv SUs."""
+        for entry in TABLE_I[:3]:
+            cu = entry.su.factors["C"]
+            ku = entry.su.factors["K"]
+            assert entry.weight_bw_bits == cu * ku
+
+    def test_group_size_tied_to_cu(self):
+        for entry in TABLE_I[:6]:
+            assert entry.group_size == entry.su.factors["C"]
+
+    def test_sync_groups_segment_level(self):
+        assert TABLE_I[0].sync_groups == 8   # G=8 -> 64/8
+        assert TABLE_I[2].sync_groups == 2   # G=32
+        assert TABLE_I[6].sync_groups == 1   # G=64
+
+    def test_dense_su_lanes(self):
+        assert DENSE_SU.su.lanes == 4096
+
+
+class TestBitWaveCycles:
+    def test_dense_columns_cost_8(self):
+        acc = BitWave("dynamic", "dense", False)
+        stats = _stats()
+        for entry in acc.bw_sus:
+            assert acc.cycles_per_group(stats, entry) == 8.0
+
+    def test_sm_skips_columns(self):
+        acc = BitWave("dynamic", "sm", False)
+        stats = _stats()
+        entry = acc.bw_sus[0]
+        assert acc.cycles_per_group(stats, entry) < 8.0
+
+    def test_bitflip_caps_cycles(self):
+        stats = _stats().with_bitflip(5)
+        acc = BitWave("dynamic", "sm", True)
+        entry = acc.bw_sus[0]
+        assert acc.cycles_per_group(stats, entry) <= 3.0
+
+    def test_weight_cr_dense_is_one(self):
+        acc = BitWave("dynamic", "dense", False)
+        assert acc.weight_cr(_conv(), _stats(), acc.sus[0]) == 1.0
+
+    def test_weight_cr_sm_uses_bcs(self):
+        acc = BitWave("dynamic", "sm", False)
+        stats = _stats()
+        assert acc.weight_cr(_conv(), stats, acc.sus[0]) == \
+            stats.bcs_cr[8]
+
+    def test_foreign_su_rejected(self):
+        acc = BitWave("dynamic", "sm", False)
+        with pytest.raises(ValueError, match="not part"):
+            acc.weight_cr(_conv(), _stats(), DENSE_SU.su)
+
+
+class TestBitflipTargets:
+    def test_first_pattern_wins_for_bert(self):
+        names = [f"Layer.{i}.ffn.output" for i in range(5)]
+        targets = bitflip_targets_for("bert_base", names)
+        assert targets["Layer.1.ffn.output"] == 2
+        assert targets["Layer.4.ffn.output"] == 5
+
+    def test_resnet_conv1_untouched(self):
+        targets = bitflip_targets_for(
+            "resnet18", ["conv1", "layer4.0.conv1", "fc"])
+        assert targets["conv1"] == 0
+        assert targets["layer4.0.conv1"] == 5
+
+    def test_unknown_network_empty(self):
+        assert bitflip_targets_for("vgg", ["a"]) == {}

@@ -1,0 +1,171 @@
+"""Integration tests pinning the paper's evaluation *shape* (Section V).
+
+These run the full analytical pipeline on all four benchmark networks
+and assert the orderings/factors the paper reports -- who wins, by
+roughly what magnitude, and where each technique pays off.  Absolute
+numbers differ from the paper (our substrate is synthetic, DESIGN.md §2);
+the assertions target the robust qualitative claims.
+"""
+
+import pytest
+
+from repro.accelerators import SOTA_ACCELERATORS, build_accelerator
+from repro.accelerators.bitwave import BitWave
+from repro.workloads.nets import NETWORKS
+
+
+@pytest.fixture(scope="module")
+def evaluations():
+    results = {}
+    for name in SOTA_ACCELERATORS:
+        acc = build_accelerator(name)
+        for net in NETWORKS:
+            results[(name, net)] = acc.evaluate_network(net)
+    return results
+
+
+@pytest.fixture(scope="module")
+def breakdown():
+    variants = {
+        "dense": BitWave("fixed", "dense", False),
+        "df": BitWave("dynamic", "dense", False),
+        "df_sm": BitWave("dynamic", "sm", False),
+        "df_sm_bf": BitWave("dynamic", "sm", True),
+    }
+    return {
+        (tag, net): acc.evaluate_network(net)
+        for tag, acc in variants.items()
+        for net in NETWORKS
+    }
+
+
+class TestFig14Speedup:
+    def test_bitwave_fastest_everywhere(self, evaluations):
+        for net in NETWORKS:
+            bw = evaluations[("BitWave", net)].total_cycles
+            for other in SOTA_ACCELERATORS:
+                assert bw <= evaluations[(other, net)].total_cycles
+
+    def test_large_gains_on_low_value_sparsity_nets(self, evaluations):
+        """Paper: 10.1x / 13.25x vs SCNN on CNN-LSTM / BERT."""
+        for net in ("cnn_lstm", "bert_base"):
+            ratio = evaluations[("SCNN", net)].total_cycles / \
+                evaluations[("BitWave", net)].total_cycles
+            assert ratio > 8.0
+
+    def test_beats_bitlet_clearly(self, evaluations):
+        """Paper: BitWave outperforms Bitlet by over 2x (we accept 1.4x
+        on the conv nets where our synthetic sparsity is conservative)."""
+        for net in NETWORKS:
+            ratio = evaluations[("Bitlet", net)].total_cycles / \
+                evaluations[("BitWave", net)].total_cycles
+            assert ratio > 1.4
+
+    def test_huaa_strongest_baseline_on_mobilenet(self, evaluations):
+        """Dynamic dataflow is what MobileNetV2's shape diversity needs."""
+        cycles = {n: evaluations[(n, "mobilenetv2")].total_cycles
+                  for n in SOTA_ACCELERATORS if n != "BitWave"}
+        assert min(cycles, key=cycles.get) == "HUAA"
+
+
+class TestFig15Energy:
+    def test_bitwave_lowest_energy_everywhere(self, evaluations):
+        for net in NETWORKS:
+            bw = evaluations[("BitWave", net)].total_energy_pj
+            for other in SOTA_ACCELERATORS:
+                assert bw <= evaluations[(other, net)].total_energy_pj
+
+    def test_scnn_worst_on_weight_heavy_networks(self, evaluations):
+        """Paper: SCNN's ZRE indexing explodes memory traffic; e.g.
+        Bert-Base costs 13.23x more energy than BitWave (we reproduce
+        the ordering with a >2.5x factor)."""
+        for net in ("cnn_lstm", "bert_base"):
+            energies = {n: evaluations[(n, net)].total_energy_pj
+                        for n in SOTA_ACCELERATORS}
+            assert max(energies, key=energies.get) == "SCNN"
+            assert energies["SCNN"] / energies["BitWave"] > 2.5
+
+
+class TestFig16EnergyBreakdown:
+    def test_dram_dominates_weight_intensive_nets(self, evaluations):
+        """Paper: 'DRAM energy is the dominant factor, especially for
+        weight-intensive networks'."""
+        for net in ("resnet18", "cnn_lstm", "bert_base"):
+            shares = evaluations[("BitWave", net)].energy_shares()
+            assert shares["dram"] > 0.5
+
+    def test_shares_sum_to_one(self, evaluations):
+        for net in NETWORKS:
+            shares = evaluations[("BitWave", net)].energy_shares()
+            assert sum(shares.values()) == pytest.approx(1.0)
+
+
+class TestFig17Efficiency:
+    def test_bitwave_most_efficient(self, evaluations):
+        for net in NETWORKS:
+            bw = evaluations[("BitWave", net)].efficiency_tops_per_w
+            for other in SOTA_ACCELERATORS:
+                assert bw >= evaluations[(other, net)].efficiency_tops_per_w
+
+    def test_about_2x_over_huaa_on_bert(self, evaluations):
+        """Paper: 2.04x higher energy efficiency than HUAA on Bert-Base."""
+        ratio = evaluations[("BitWave", "bert_base")].efficiency_tops_per_w / \
+            evaluations[("HUAA", "bert_base")].efficiency_tops_per_w
+        assert 1.5 < ratio < 3.0
+
+
+class TestFig13Breakdown:
+    def test_each_technique_helps(self, breakdown):
+        """Dense -> +DF -> +SM -> +BF is monotone in speed."""
+        for net in NETWORKS:
+            dense = breakdown[("dense", net)].total_cycles
+            df = breakdown[("df", net)].total_cycles
+            sm = breakdown[("df_sm", net)].total_cycles
+            bf = breakdown[("df_sm_bf", net)].total_cycles
+            assert df <= dense * 1.001
+            assert sm <= df * 1.001
+            assert bf <= sm * 1.001
+
+    def test_df_helps_mobilenet_most(self, breakdown):
+        """Paper: 2.57x from dataflow on MobileNetV2's diverse layers."""
+        gains = {}
+        for net in NETWORKS:
+            gains[net] = breakdown[("dense", net)].total_cycles / \
+                breakdown[("df", net)].total_cycles
+        assert max(gains, key=gains.get) == "mobilenetv2"
+        assert gains["mobilenetv2"] > 2.0
+
+    def test_df_barely_moves_bert_and_cnn_lstm(self, breakdown):
+        """Paper: 'CNN-LSTM and Bert-Base are less influenced by the
+        dynamic dataflow due to their less diverse layer shapes'."""
+        for net in ("cnn_lstm", "bert_base"):
+            gain = breakdown[("dense", net)].total_cycles / \
+                breakdown[("df", net)].total_cycles
+            assert gain < 1.3
+
+    def test_sm_gain_small_on_bert(self, breakdown):
+        """Paper: SM alone is only 1.06x on Bert-Base."""
+        gain = breakdown[("df", "bert_base")].total_cycles / \
+            breakdown[("df_sm", "bert_base")].total_cycles
+        assert 1.0 <= gain < 1.3
+
+    def test_bf_large_on_bert(self, breakdown):
+        """Paper: Bit-Flip unlocks an additional 2.67x on Bert-Base."""
+        gain = breakdown[("df_sm", "bert_base")].total_cycles / \
+            breakdown[("df_sm_bf", "bert_base")].total_cycles
+        assert gain > 1.6
+
+
+class TestEvaluationPlumbing:
+    def test_unknown_accelerator(self):
+        with pytest.raises(ValueError, match="unknown accelerator"):
+            build_accelerator("TPU")
+
+    def test_layer_results_cover_network(self, evaluations):
+        ev = evaluations[("BitWave", "resnet18")]
+        assert len(ev.layers) == 21
+
+    def test_runtime_positive(self, evaluations):
+        for ev in evaluations.values():
+            assert ev.runtime_s > 0
+            assert ev.effective_tops > 0

@@ -1,0 +1,182 @@
+"""Tests for the Bit-Flip optimizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.bitcolumn import group_weights, zero_column_mask
+from repro.core.bitflip import (
+    FlipResult,
+    flip_group,
+    flip_groups,
+    flip_layer,
+    representable_magnitudes,
+)
+
+int8_groups = arrays(
+    np.int8, st.tuples(st.integers(1, 16), st.sampled_from([4, 8, 16])),
+    elements=st.integers(-127, 127),
+)
+
+
+class TestRepresentableMagnitudes:
+    def test_empty_subset(self):
+        assert representable_magnitudes(()).tolist() == [0]
+
+    def test_lsb_pair(self):
+        assert representable_magnitudes((5, 6)).tolist() == [0, 1, 2, 3]
+
+    def test_full_set_covers_7_bits(self):
+        values = representable_magnitudes(tuple(range(7)))
+        assert len(values) == 128
+        assert values[-1] == 127
+
+    def test_single_msb(self):
+        assert representable_magnitudes((0,)).tolist() == [0, 64]
+
+
+class TestFlipGroup:
+    def test_paper_fig4c_example(self):
+        """Targeting 5 zero columns tunes -3 to -4 with distance 1."""
+        # Group engineered so -3 is the only obstacle to 5 zero columns:
+        # magnitudes use planes {4, 5, 6} (values 4, 2, 1).
+        group = np.array([4, -3, 4, 4], dtype=np.int8)
+        result = flip_group(group, 5)
+        assert result.min_zero_columns >= 5
+        assert result.weights.tolist() == [4, -4, 4, 4]
+        assert result.distortion == 1.0
+
+    def test_already_satisfied_is_noop(self):
+        group = np.array([1, 1, 1, 1], dtype=np.int8)  # 6 zero cols + sign
+        result = flip_group(group, 5)
+        assert result.distortion == 0.0
+        assert np.array_equal(result.weights, group)
+
+    def test_target_zero_is_noop(self):
+        group = np.array([-127, 85, 33, -1], dtype=np.int8)
+        result = flip_group(group, 0)
+        assert result.distortion == 0.0
+
+    def test_target_8_zeroes_everything_positive(self):
+        group = np.array([3, 1, 2, 7], dtype=np.int8)
+        result = flip_group(group, 8)
+        assert np.array_equal(result.weights, np.zeros(4, dtype=np.int8))
+
+    def test_target_8_with_negatives_zeroes_magnitudes(self):
+        group = np.array([-3, 1, -2, 7], dtype=np.int8)
+        result = flip_group(group, 8)
+        # Zero magnitudes decode to value 0; sign column then empty too.
+        assert np.array_equal(result.weights, np.zeros(4, dtype=np.int8))
+        assert result.min_zero_columns == 8
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError, match="target_zero_columns"):
+            flip_group(np.array([1], dtype=np.int8), 9)
+
+    def test_sign_never_flipped(self):
+        group = np.array([-100, 100, -50, 50], dtype=np.int8)
+        result = flip_group(group, 4)
+        assert np.all(np.sign(result.weights) == np.sign(group))
+
+    @given(int8_groups, st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_target_always_met(self, groups, target):
+        result = flip_groups(groups, target)
+        assert result.min_zero_columns >= target
+
+    @given(int8_groups, st.integers(1, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_distortion_is_squared_error(self, groups, target):
+        result = flip_groups(groups, target)
+        err = (result.weights.astype(np.int64) - groups.astype(np.int64)) ** 2
+        assert result.distortion == pytest.approx(err.sum())
+
+    @given(int8_groups)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_distortion_in_target(self, groups):
+        prev = 0.0
+        for target in range(8):
+            d = flip_groups(groups, target).distortion
+            assert d >= prev - 1e-9
+            prev = d
+
+    def test_optimality_vs_bruteforce_small(self):
+        """The vectorized optimizer must match exhaustive search."""
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            group = rng.integers(-127, 128, size=4).astype(np.int8)
+            group[group == -128] = -127
+            target = int(rng.integers(1, 7))
+            got = flip_groups(group.reshape(1, -1), target)
+            best = _bruteforce_flip(group, target)
+            assert got.distortion == pytest.approx(best)
+
+
+def _bruteforce_flip(group: np.ndarray, target: int) -> float:
+    """Exhaustive minimal distortion meeting the zero-column target."""
+    from itertools import product
+
+    best = float("inf")
+    signs = np.sign(group)
+    candidates = [np.arange(0, 128)] * len(group)
+    # Exhaustive over magnitudes is 128^4 -- too big; instead exhaustively
+    # verify via the subset structure: enumerate all column subsets of any
+    # size and round. This independently reimplements the algorithm with
+    # unrestricted subset size to confirm exact-size enumeration suffices.
+    from itertools import combinations
+
+    from repro.core.bitflip import _round_to_table, representable_magnitudes
+
+    mags = np.abs(group.astype(np.int64))
+    for size in range(8):
+        for subset in combinations(range(7), size):
+            table = representable_magnitudes(subset)
+            rounded = _round_to_table(mags, table)
+            flipped = (signs * rounded).astype(np.int8)
+            mask = zero_column_mask(flipped.reshape(1, -1), fmt="sm")
+            if mask.sum() >= target:
+                cost = float(((rounded - mags) ** 2).sum())
+                best = min(best, cost)
+    return best
+
+
+class TestFlipLayer:
+    def test_shape_preserved(self):
+        rng = np.random.default_rng(3)
+        w = rng.integers(-127, 128, size=(8, 16)).astype(np.int8)
+        w[w == -128] = -127
+        result = flip_layer(w, 4, 8)
+        assert result.weights.shape == (8, 16)
+
+    def test_rms_property(self):
+        w = np.full((4, 8), 85, dtype=np.int8)
+        result = flip_layer(w, 6, 8)
+        n = w.size
+        assert result.rms == pytest.approx(np.sqrt(result.distortion / n))
+
+    def test_zero_layer_untouched(self):
+        w = np.zeros((4, 4), dtype=np.int8)
+        result = flip_layer(w, 7, 8)
+        assert result.distortion == 0.0
+
+    def test_flipping_raises_column_sparsity(self, laplacian_int8):
+        from repro.core.bitcolumn import column_sparsity
+
+        before = column_sparsity(laplacian_int8, 16, "sm")
+        flipped = flip_layer(laplacian_int8, 5, 16).weights
+        after = column_sparsity(flipped, 16, "sm")
+        assert after > before
+
+    def test_distortion_grows_with_group_size(self, laplacian_int8):
+        # Bigger groups constrain more weights per column: more distortion.
+        d8 = flip_layer(laplacian_int8, 5, 8).distortion
+        d32 = flip_layer(laplacian_int8, 5, 32).distortion
+        assert d32 >= d8
+
+
+class TestFlipResult:
+    def test_min_zero_columns_empty(self):
+        r = FlipResult(np.zeros(0, dtype=np.int8), 0.0, np.zeros(0, dtype=int))
+        assert r.min_zero_columns == 8

@@ -1,0 +1,180 @@
+"""Tests for the greedy search (Algorithm 1), Pareto front and pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitcolumn import column_sparsity
+from repro.core.pareto import pareto_front
+from repro.core.pipeline import BitWavePipeline
+from repro.core.search import (
+    apply_strategy,
+    empty_strategy,
+    greedy_bitflip_search,
+)
+from repro.utils.rng import seeded_rng
+
+
+def _toy_weights() -> dict[str, np.ndarray]:
+    rng = seeded_rng("search-tests")
+    return {
+        "conv1": np.clip(np.round(rng.laplace(0, 8, 256)), -127, 127).astype(np.int8),
+        "conv2": np.clip(np.round(rng.laplace(0, 12, 256)), -127, 127).astype(np.int8),
+    }
+
+
+class TestParetoFront:
+    def test_single_point(self):
+        assert pareto_front([(1.0, 0.9, "a")]) == [(1.0, 0.9, "a")]
+
+    def test_dominated_point_removed(self):
+        points = [(1.0, 0.9, "a"), (2.0, 0.95, "b")]
+        assert pareto_front(points) == [(2.0, 0.95, "b")]
+
+    def test_tradeoff_points_kept(self):
+        points = [(1.0, 0.95, "a"), (2.0, 0.90, "b"), (3.0, 0.80, "c")]
+        assert len(pareto_front(points)) == 3
+
+    def test_sorted_by_cr(self):
+        points = [(3.0, 0.8, "c"), (1.0, 0.95, "a"), (2.0, 0.9, "b")]
+        front = pareto_front(points)
+        crs = [p[0] for p in front]
+        assert crs == sorted(crs)
+
+    def test_equal_points_single_survivor(self):
+        points = [(1.0, 0.9, "a"), (1.0, 0.9, "b")]
+        assert len(pareto_front(points)) == 1
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+
+class TestApplyStrategy:
+    def test_empty_strategy_passthrough(self):
+        weights = _toy_weights()
+        out = apply_strategy(weights, empty_strategy(weights))
+        for name in weights:
+            assert out[name] is weights[name]
+
+    def test_nonzero_target_flips(self):
+        weights = _toy_weights()
+        strategy = empty_strategy(weights)
+        strategy["conv1"][16] = 5
+        out = apply_strategy(weights, strategy)
+        before = column_sparsity(weights["conv1"], 16, "sm")
+        after = column_sparsity(out["conv1"], 16, "sm")
+        assert after > before
+        assert out["conv2"] is weights["conv2"]
+
+    def test_original_never_mutated(self):
+        weights = _toy_weights()
+        snapshot = {k: v.copy() for k, v in weights.items()}
+        strategy = empty_strategy(weights)
+        strategy["conv1"][8] = 6
+        apply_strategy(weights, strategy)
+        for name in weights:
+            assert np.array_equal(weights[name], snapshot[name])
+
+
+class TestGreedySearch:
+    def test_stops_at_min_accuracy(self):
+        weights = _toy_weights()
+
+        def evaluate(candidate):
+            # Accuracy falls linearly with total distortion.
+            err = sum(
+                float(((candidate[n].astype(np.int64) -
+                        weights[n].astype(np.int64)) ** 2).sum())
+                for n in weights
+            )
+            return 1.0 - err / 2e5
+
+        result = greedy_bitflip_search(
+            weights, evaluate, min_accuracy=0.98, max_moves=6)
+        assert result.accuracy >= 0.98
+
+    def test_moves_recorded(self):
+        weights = _toy_weights()
+        result = greedy_bitflip_search(
+            weights, lambda c: 1.0, min_accuracy=0.5, max_moves=3)
+        assert result.n_moves == 3
+        for layer, gs, z, acc in result.history:
+            assert layer in weights
+            assert gs in (8, 16, 32)
+            assert 1 <= z <= 7
+            assert acc == 1.0
+
+    def test_initial_strategy_respected(self):
+        weights = _toy_weights()
+        initial = {"conv1": {16: 4}}
+        result = greedy_bitflip_search(
+            weights, lambda c: 1.0, min_accuracy=0.5,
+            initial_strategy=initial, max_moves=1)
+        assert result.strategy["conv1"][16] >= 4
+
+    def test_layer_restriction(self):
+        weights = _toy_weights()
+        result = greedy_bitflip_search(
+            weights, lambda c: 1.0, min_accuracy=0.5,
+            layers=["conv2"], max_moves=4)
+        assert all(z == 0 for z in result.strategy["conv1"].values())
+
+    def test_unknown_layer_raises(self):
+        with pytest.raises(KeyError, match="nope"):
+            greedy_bitflip_search(
+                _toy_weights(), lambda c: 1.0, 0.5, layers=["nope"])
+
+    def test_saturation_terminates(self):
+        weights = {"w": np.array([1, 2, 3, 4] * 4, dtype=np.int8)}
+        result = greedy_bitflip_search(
+            weights, lambda c: 1.0, min_accuracy=0.0, max_zero_columns=1)
+        assert all(z <= 1 for z in result.strategy["w"].values())
+
+
+class TestBitWavePipeline:
+    def test_rejects_unsupported_group_size(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            BitWavePipeline(group_size=4)
+
+    def test_deploy_lossless_by_default(self):
+        weights = _toy_weights()
+        report = BitWavePipeline(group_size=16).deploy(weights)
+        for name in weights:
+            assert np.array_equal(report.layers[name].weights, weights[name])
+            assert report.layers[name].distortion == 0.0
+
+    def test_deploy_with_targets_flips(self):
+        weights = _toy_weights()
+        pipeline = BitWavePipeline(
+            group_size=16, zero_column_targets={"conv1": 5})
+        report = pipeline.deploy(weights)
+        assert report.layers["conv1"].distortion > 0.0
+        assert report.layers["conv2"].distortion == 0.0
+
+    def test_flipping_improves_network_cr(self):
+        weights = _toy_weights()
+        base = BitWavePipeline(group_size=16).deploy(weights)
+        flipped = BitWavePipeline(
+            group_size=16,
+            zero_column_targets={"conv1": 5, "conv2": 5},
+        ).deploy(weights)
+        assert flipped.compression_ratio > base.compression_ratio
+
+    def test_per_layer_group_size(self):
+        weights = _toy_weights()
+        pipeline = BitWavePipeline(group_size=16, group_sizes={"conv1": 8})
+        report = pipeline.deploy(weights)
+        assert report.layers["conv1"].group_size == 8
+        assert report.layers["conv2"].group_size == 16
+
+    def test_nonzero_column_counts_exposed(self):
+        weights = _toy_weights()
+        report = BitWavePipeline(group_size=16).deploy(weights)
+        counts = report.layers["conv1"].nonzero_column_counts
+        assert counts.ndim == 1
+        assert counts.max() <= 8
+
+    def test_total_bits_accounting(self):
+        weights = _toy_weights()
+        report = BitWavePipeline(group_size=16).deploy(weights)
+        assert report.total_original_bits == sum(
+            w.size * 8 for w in weights.values())

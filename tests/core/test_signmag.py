@@ -1,0 +1,111 @@
+"""Tests for the sign-magnitude / two's complement codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.signmag import (
+    from_sign_magnitude,
+    from_sm_bitplanes,
+    from_twos_complement_bitplanes,
+    sm_bitplanes,
+    to_sign_magnitude,
+    twos_complement_bitplanes,
+)
+
+int8_arrays = arrays(np.int8, st.integers(1, 128),
+                     elements=st.integers(-127, 127))
+
+
+class TestToSignMagnitude:
+    def test_positive(self):
+        sign, mag = to_sign_magnitude(np.array([5], dtype=np.int8))
+        assert sign.tolist() == [0]
+        assert mag.tolist() == [5]
+
+    def test_negative(self):
+        sign, mag = to_sign_magnitude(np.array([-3], dtype=np.int8))
+        assert sign.tolist() == [1]
+        assert mag.tolist() == [3]
+
+    def test_zero(self):
+        sign, mag = to_sign_magnitude(np.array([0], dtype=np.int8))
+        assert sign.tolist() == [0]
+        assert mag.tolist() == [0]
+
+    def test_extremes(self):
+        sign, mag = to_sign_magnitude(np.array([127, -127], dtype=np.int8))
+        assert sign.tolist() == [0, 1]
+        assert mag.tolist() == [127, 127]
+
+    def test_minus_128_rejected(self):
+        with pytest.raises(ValueError, match="-128"):
+            to_sign_magnitude(np.array([-128], dtype=np.int8))
+
+    def test_minus_128_saturates_on_request(self):
+        sign, mag = to_sign_magnitude(np.array([-128], dtype=np.int8), saturate=True)
+        assert sign.tolist() == [1]
+        assert mag.tolist() == [127]
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TypeError, match="integer"):
+            to_sign_magnitude(np.array([0.5]))
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError, match="int8"):
+            to_sign_magnitude(np.array([300]))
+
+    @given(int8_arrays)
+    def test_roundtrip(self, w):
+        sign, mag = to_sign_magnitude(w)
+        assert np.array_equal(from_sign_magnitude(sign, mag), w)
+
+
+class TestFromSignMagnitude:
+    def test_negative_zero_decodes_to_zero(self):
+        out = from_sign_magnitude(np.array([1], np.uint8), np.array([0], np.uint8))
+        assert out.tolist() == [0]
+
+    def test_rejects_8bit_magnitude(self):
+        with pytest.raises(ValueError, match="7 bits"):
+            from_sign_magnitude(np.array([0], np.uint8), np.array([128], np.uint8))
+
+
+class TestSmBitplanes:
+    def test_paper_example_minus_3(self):
+        # -3 in SM: sign 1, magnitude 000_0011.
+        planes = sm_bitplanes(np.array([-3], dtype=np.int8))
+        assert planes.tolist() == [[1, 0, 0, 0, 0, 0, 1, 1]]
+
+    def test_small_negative_has_leading_zeros(self):
+        # The motivating observation: -3 in 2C is 1111_1101 (6 ones),
+        # in SM it is 1000_0011 (3 ones).
+        tc = twos_complement_bitplanes(np.array([-3], dtype=np.int8))
+        sm = sm_bitplanes(np.array([-3], dtype=np.int8))
+        assert tc.sum() == 7
+        assert sm.sum() == 3
+
+    def test_plane0_is_sign(self):
+        planes = sm_bitplanes(np.array([-64, 64], dtype=np.int8))
+        assert planes[:, 0].tolist() == [1, 0]
+
+    @given(int8_arrays)
+    def test_roundtrip(self, w):
+        assert np.array_equal(from_sm_bitplanes(sm_bitplanes(w)), w)
+
+
+class TestTwosComplementBitplanes:
+    def test_minus_one_all_ones(self):
+        planes = twos_complement_bitplanes(np.array([-1], dtype=np.int8))
+        assert planes.sum() == 8
+
+    def test_positive_matches_binary(self):
+        planes = twos_complement_bitplanes(np.array([0b0101_1010], dtype=np.int8))
+        assert planes.tolist() == [[0, 1, 0, 1, 1, 0, 1, 0]]
+
+    @given(arrays(np.int8, st.integers(1, 128), elements=st.integers(-128, 127)))
+    def test_roundtrip_full_range(self, w):
+        planes = twos_complement_bitplanes(w)
+        assert np.array_equal(from_twos_complement_bitplanes(planes), w)

@@ -1,0 +1,110 @@
+"""Tests for the lightweight experiment harnesses (structure + claims).
+
+The heavyweight accelerator-grid figures are covered by the benchmark
+suite and tests/accelerators/test_paper_shape.py; here we unit-test the
+cheap harnesses and the output formatting of all of them.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig01_sparsity,
+    fig04_bcs_2c_vs_sm,
+    fig05_compression,
+    fig09_utilization,
+    fig18_area_power,
+    tab3_sota,
+    tab4_pe_types,
+    validation_sim_vs_model,
+)
+
+
+class TestFig01:
+    def test_single_network(self):
+        results = fig01_sparsity.run(("cnn_lstm",))
+        assert set(results) == {"cnn_lstm"}
+        summary = results["cnn_lstm"]
+        assert summary["bit_sparsity_sm"] > summary["bit_sparsity_2c"] \
+            > summary["value_sparsity"]
+
+    def test_main_prints_table(self, capsys):
+        fig01_sparsity.main()
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+        assert "resnet18" in out
+
+
+class TestFig04:
+    def test_sm_beats_2c(self):
+        result = fig04_bcs_2c_vs_sm.run()
+        assert result["column_sparsity_sm"] > result["column_sparsity_2c"]
+        assert result["improvement"] > 1.0
+
+    def test_group_size_parameter(self):
+        g4 = fig04_bcs_2c_vs_sm.run(group_size=4)
+        g32 = fig04_bcs_2c_vs_sm.run(group_size=32)
+        # Larger groups see fewer co-occurring zeros.
+        assert g32["column_sparsity_sm"] <= g4["column_sparsity_sm"]
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig05_compression.run()
+
+    def test_all_group_sizes_present(self, results):
+        assert set(results["bcs"]) == set(fig05_compression.GROUP_SIZES)
+
+    def test_real_cr_has_interior_peak(self, results):
+        reals = [results["bcs"][g]["real"]
+                 for g in fig05_compression.GROUP_SIZES]
+        best = max(range(len(reals)), key=lambda i: reals[i])
+        assert 0 < best < len(reals) - 1  # neither G=1 nor G=64
+
+
+class TestFig09:
+    def test_structure(self):
+        results = fig09_utilization.run()
+        assert len(results) == 6
+        for values in results.values():
+            for util in values.values():
+                assert 0.0 < util <= 1.0
+
+
+class TestAreaTables:
+    def test_tab3_contains_all_designs(self):
+        rows = tab3_sota.run()
+        for design in ("Stripes", "Pragmatic", "SCNN", "Bitlet",
+                       "HUAA", "BitWave"):
+            assert design in rows
+
+    def test_fig18_components(self):
+        results = fig18_area_power.run()
+        assert set(results["area_mm2"]) == set(results["power_mw"])
+
+    def test_tab4_ratios_attached(self):
+        table = tab4_pe_types.run()
+        for values in table.values():
+            assert "area_ratio" in values
+            assert "power_ratio" in values
+
+
+class TestValidation:
+    def test_all_layers_within_paper_bound(self):
+        for row in validation_sim_vs_model.run():
+            assert row["deviation"] < 0.06
+
+    def test_main_prints(self, capsys):
+        validation_sim_vs_model.main()
+        assert "deviation" in capsys.readouterr().out
+
+
+class TestMainsPrint:
+    @pytest.mark.parametrize("module", [
+        fig04_bcs_2c_vs_sm, fig05_compression, fig09_utilization,
+        tab3_sota, fig18_area_power, tab4_pe_types,
+    ])
+    def test_main_returns_table(self, module, capsys):
+        table = module.main()
+        assert isinstance(table, str)
+        assert capsys.readouterr().out.strip()

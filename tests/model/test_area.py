@@ -1,0 +1,90 @@
+"""Tests for the area/power model (Fig. 18, Table III, Table IV)."""
+
+import pytest
+
+from repro.model.area import (
+    TOTAL_AREA_MM2,
+    TOTAL_POWER_MW,
+    bitwave_area_breakdown,
+    bitwave_power_breakdown,
+    pe_type_comparison,
+    system_specs,
+)
+
+
+class TestAreaBreakdown:
+    def test_totals_match_paper(self):
+        area = bitwave_area_breakdown()
+        assert sum(area.values()) == pytest.approx(TOTAL_AREA_MM2, rel=1e-6)
+
+    def test_sram_share_fig18(self):
+        area = bitwave_area_breakdown()
+        assert area["sram"] / sum(area.values()) == pytest.approx(0.5508)
+
+    def test_scaling_with_sram(self):
+        area = bitwave_area_breakdown(sram_kb=1024)
+        assert area["sram"] == pytest.approx(
+            bitwave_area_breakdown()["sram"] * 2)
+
+    def test_scaling_with_bces(self):
+        area = bitwave_area_breakdown(n_bce=256)
+        assert area["pe_array"] == pytest.approx(
+            bitwave_area_breakdown()["pe_array"] / 2)
+
+
+class TestPowerBreakdown:
+    def test_totals_match_paper(self):
+        power = bitwave_power_breakdown()
+        assert sum(power.values()) == pytest.approx(TOTAL_POWER_MW, rel=1e-6)
+
+    def test_pe_array_dominates_power(self):
+        power = bitwave_power_breakdown()
+        assert power["pe_array"] == max(power.values())
+
+    def test_dispatcher_share(self):
+        power = bitwave_power_breakdown()
+        assert power["data_dispatcher"] / TOTAL_POWER_MW == pytest.approx(0.244)
+
+
+class TestPeTypeComparison:
+    def test_table_iv_values(self):
+        table = pe_type_comparison()
+        assert table["bit_parallel"]["area_um2"] == pytest.approx(98.029)
+        assert table["bit_column_serial"]["power_mw"] == pytest.approx(1.71e-2)
+
+    def test_bcse_area_overhead_1_26x(self):
+        """Paper: BCSeC PE has ~1.26x area of the bit-parallel PE."""
+        table = pe_type_comparison()
+        ratio = table["bit_column_serial"]["area_um2"] / \
+            table["bit_parallel"]["area_um2"]
+        assert ratio == pytest.approx(1.26, abs=0.01)
+
+    def test_bcse_power_below_bit_parallel(self):
+        """Paper: ~1.25x less power than bit-parallel via add-then-shift."""
+        table = pe_type_comparison()
+        ratio = table["bit_parallel"]["power_mw"] / \
+            table["bit_column_serial"]["power_mw"]
+        assert ratio == pytest.approx(1.25, abs=0.01)
+
+    def test_bit_serial_worst_power(self):
+        table = pe_type_comparison()
+        assert table["bit_serial"]["power_mw"] == max(
+            v["power_mw"] for v in table.values())
+
+    def test_mutation_safe(self):
+        table = pe_type_comparison()
+        table["bit_parallel"]["area_um2"] = 0.0
+        assert pe_type_comparison()["bit_parallel"]["area_um2"] > 0
+
+
+class TestSystemSpecs:
+    def test_published_point(self):
+        specs = system_specs()
+        assert specs.area_mm2 == pytest.approx(1.138)
+        assert specs.power_mw == pytest.approx(17.56)
+        assert specs.peak_gops == pytest.approx(215.6, rel=0.01)
+        assert specs.energy_efficiency_tops_w == pytest.approx(12.21, rel=0.01)
+
+    def test_area_efficiency(self):
+        specs = system_specs()
+        assert specs.area_efficiency_gops_w_mm2 > 5000

@@ -1,0 +1,116 @@
+"""Tests for spatial unrolling and utilization math (Fig. 9 machinery)."""
+
+import pytest
+
+from repro.model.mapping import SpatialUnrolling, best_su
+from repro.workloads.spec import LayerSpec
+
+
+def _conv(k=64, c=64, ox=56, oy=56, fx=3, fy=3, kind="conv"):
+    return LayerSpec("t", "n", kind, k=k, c=c, ox=ox, oy=oy, fx=fx, fy=fy)
+
+
+class TestSpatialUnrolling:
+    def test_lanes(self):
+        su = SpatialUnrolling("x", {"K": 8, "C": 4, "OX": 2})
+        assert su.lanes == 64
+
+    def test_perfect_fit_utilization(self):
+        su = SpatialUnrolling("x", {"K": 32, "C": 8})
+        assert su.utilization(_conv(k=64, c=64)) == 1.0
+
+    def test_partial_fill(self):
+        su = SpatialUnrolling("x", {"C": 8})
+        # C=3: 3 of 8 lanes busy.
+        assert su.utilization(_conv(c=3)) == pytest.approx(3 / 8)
+
+    def test_remainder_iteration(self):
+        su = SpatialUnrolling("x", {"OX": 16})
+        # OX=56: 4 iterations, last uses 8/16 -> 56/64.
+        assert su.utilization(_conv(ox=56)) == pytest.approx(56 / 64)
+
+    def test_fold_reduction_counts_kernel(self):
+        folded = SpatialUnrolling("x", {"C": 64}, fold_reduction=True)
+        # C=3, 7x7: 147 flattened -> ceil(147/64)=3 rounds -> 147/192.
+        assert folded.utilization(_conv(c=3, fx=7, fy=7)) == pytest.approx(
+            147 / 192)
+
+    def test_fold_rejects_fx_factor(self):
+        with pytest.raises(ValueError, match="fold_reduction"):
+            SpatialUnrolling("x", {"C": 8, "FX": 3}, fold_reduction=True)
+
+    def test_unknown_dim_rejected(self):
+        with pytest.raises(ValueError, match="unknown dim"):
+            SpatialUnrolling("x", {"Z": 4})
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError, match="factor"):
+            SpatialUnrolling("x", {"K": 0})
+
+    def test_weight_spatial_reuse_is_output_dims(self):
+        su = SpatialUnrolling("x", {"K": 8, "OX": 16, "B": 2})
+        spec = _conv(ox=64)
+        # Weights broadcast across OX (16) and B (but B=1 -> 1).
+        assert su.weight_spatial_reuse(spec) == pytest.approx(16.0)
+
+    def test_input_spatial_reuse_is_k(self):
+        su = SpatialUnrolling("x", {"K": 32, "C": 8})
+        assert su.input_spatial_reuse(_conv(k=64)) == pytest.approx(32.0)
+
+    def test_g_dim_maps_to_kernels(self):
+        su = SpatialUnrolling("dw", {"G": 64, "OX": 2})
+        spec = _conv(k=128, c=1, kind="dwconv")
+        assert su.utilization(spec) == 1.0
+
+    def test_macs_per_cycle(self):
+        su = SpatialUnrolling("x", {"K": 32, "C": 16})
+        assert su.macs_per_cycle(_conv(k=64, c=64)) == pytest.approx(512.0)
+
+
+class TestBestSu:
+    def test_picks_highest_utilization(self):
+        sus = (
+            SpatialUnrolling("ck", {"K": 32, "C": 16}),
+            SpatialUnrolling("xy", {"OX": 16, "OY": 16, "K": 2}),
+        )
+        deep = _conv(k=512, c=512, ox=7, oy=7)
+        wide = _conv(k=16, c=16, ox=112, oy=112)
+        assert best_su(sus, deep).name == "ck"
+        assert best_su(sus, wide).name == "xy"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no spatial"):
+            best_su((), _conv())
+
+    def test_fig9_no_single_su_covers_everything(self):
+        """Fig. 9's core claim: no fixed SU exceeds 80% utilization on
+        every workload class on the 4096-lane array."""
+        cases = [
+            _conv(k=64, c=3, ox=112, oy=112, fx=7, fy=7),      # early
+            _conv(k=512, c=512, ox=7, oy=7),                   # late
+            LayerSpec("dw", "n", "dwconv", k=96, c=1, ox=112,
+                      oy=112, fx=3, fy=3),                     # depthwise
+            _conv(k=96, c=16, ox=112, oy=112, fx=1, fy=1,
+                  kind="pwconv"),                              # pointwise
+        ]
+        fixed_sus = [
+            SpatialUnrolling("ck", {"K": 64, "C": 64}),
+            SpatialUnrolling("xy", {"OX": 64, "OY": 8, "K": 8}),
+            SpatialUnrolling("xfx", {"OX": 64, "FX": 8, "K": 8}),
+        ]
+        for su in fixed_sus:
+            utils = [su.utilization(c) for c in cases]
+            assert min(utils) < 0.8
+
+    def test_fig9_small_array_utilizes_better(self):
+        """The 512-PE array dominates the 4096-lane array in utilization."""
+        big = SpatialUnrolling("big", {"K": 64, "C": 64})
+        small = SpatialUnrolling("small", {"K": 32, "C": 16})
+        cases = [
+            _conv(k=64, c=3, ox=112, oy=112, fx=7, fy=7),
+            LayerSpec("dw", "n", "dwconv", k=96, c=1, ox=112,
+                      oy=112, fx=3, fy=3),
+            _conv(k=96, c=16, ox=112, oy=112, fx=1, fy=1, kind="pwconv"),
+        ]
+        for case in cases:
+            assert small.utilization(case) >= big.utilization(case)

@@ -1,0 +1,61 @@
+"""Tests for the roofline analysis utility."""
+
+import pytest
+
+from repro.model.roofline import layer_roofline, network_roofline
+from repro.workloads.nets import bert_base_layers, resnet18_layers
+from repro.workloads.spec import LayerSpec
+
+
+class TestLayerRoofline:
+    def test_bert_token4_is_memory_bound(self):
+        fc = LayerSpec("ffn", "bert_base", "fc", k=3072, c=768, ox=4)
+        point = layer_roofline(fc)
+        assert point.memory_bound
+        assert point.headroom < 1.0
+
+    def test_resnet_conv_is_compute_bound(self):
+        conv = LayerSpec("c", "resnet18", "conv", k=128, c=128,
+                         ox=28, oy=28, fx=3, fy=3)
+        point = layer_roofline(conv)
+        assert not point.memory_bound
+        assert point.headroom > 1.0
+
+    def test_compression_raises_intensity(self):
+        fc = LayerSpec("ffn", "bert_base", "fc", k=3072, c=768, ox=4)
+        plain = layer_roofline(fc, weight_cr=1.0)
+        compressed = layer_roofline(fc, weight_cr=2.5)
+        assert compressed.arithmetic_intensity > plain.arithmetic_intensity
+
+    def test_invalid_cr(self):
+        fc = LayerSpec("ffn", "n", "fc", k=8, c=8, ox=1)
+        with pytest.raises(ValueError, match="positive"):
+            layer_roofline(fc, weight_cr=0.0)
+
+    def test_ridge_scales_with_bandwidth(self):
+        from dataclasses import replace
+
+        from repro.model.technology import TECH_16NM
+
+        fc = LayerSpec("ffn", "n", "fc", k=8, c=8, ox=1)
+        wide = layer_roofline(
+            fc, tech=replace(TECH_16NM, dram_bits_per_cycle=2048))
+        narrow = layer_roofline(
+            fc, tech=replace(TECH_16NM, dram_bits_per_cycle=64))
+        assert wide.ridge_point < narrow.ridge_point
+
+
+class TestNetworkRoofline:
+    def test_bert_mostly_memory_bound(self):
+        points = network_roofline(bert_base_layers())
+        bound = sum(p.memory_bound for p in points)
+        assert bound / len(points) > 0.9
+
+    def test_resnet_mostly_compute_bound(self):
+        points = network_roofline(resnet18_layers())
+        bound = sum(not p.memory_bound for p in points)
+        assert bound / len(points) > 0.7
+
+    def test_one_point_per_layer(self):
+        specs = resnet18_layers()
+        assert len(network_roofline(specs)) == len(specs)

@@ -1,0 +1,124 @@
+"""Tests for activity counts and equations (1)-(5)."""
+
+import pytest
+
+from repro.model.latency import total_cycles
+from repro.model.energy import total_energy
+from repro.model.mapping import SpatialUnrolling
+from repro.model.technology import TECH_16NM
+from repro.model.zigzag import map_layer
+from repro.workloads.spec import LayerSpec
+
+
+def _layer(**kw):
+    defaults = dict(k=64, c=64, ox=28, oy=28, fx=3, fy=3)
+    defaults.update(kw)
+    return LayerSpec("t", "n", "conv", **defaults)
+
+
+SU = SpatialUnrolling("su", {"K": 32, "C": 8, "OX": 16})
+
+
+class TestMapLayer:
+    def test_nmac(self):
+        counts = map_layer(_layer(), SU)
+        assert counts.n_mac == 64 * 64 * 28 * 28 * 9
+
+    def test_weight_dram_single_pass_when_fits(self):
+        counts = map_layer(_layer(), SU)
+        assert counts.dram_read_weight == 64 * 64 * 9
+
+    def test_weight_repass_when_nothing_fits(self):
+        big = _layer(k=512, c=512, ox=128, oy=128)
+        counts = map_layer(big, SU)
+        assert counts.dram_read_weight > big.weight_count
+
+    def test_act_fusion_small_tensors(self):
+        small = _layer(ox=7, oy=7, c=64, k=64)
+        counts = map_layer(small, SU)
+        assert counts.dram_read_act == 0.0
+        assert counts.dram_write_act == 0.0
+
+    def test_act_offchip_when_too_big(self):
+        counts = map_layer(_layer(ox=112, oy=112), SU)
+        assert counts.dram_read_act > 0
+
+    def test_padded_macs_inflate_sram_traffic(self):
+        fitted = map_layer(_layer(c=64), SU)
+        starved = map_layer(_layer(c=3), SU)  # C=3 on C=8 lanes
+        per_mac_fitted = fitted.sram_read_weight / fitted.n_mac
+        per_mac_starved = starved.sram_read_weight / starved.n_mac
+        assert per_mac_starved > per_mac_fitted
+
+    def test_reg_traffic(self):
+        counts = map_layer(_layer(), SU)
+        assert counts.reg_read == 2 * counts.n_mac
+        assert counts.reg_write == counts.n_mac
+
+    def test_spatial_and_temporal_reuse_reduce_sram(self):
+        counts = map_layer(_layer(), SU)
+        # Weight reads shrunk by OX unroll (16) and the register window.
+        assert counts.sram_read_weight < counts.n_mac / 16
+
+
+class TestTotalCycles:
+    def test_compute_bound_layer(self):
+        counts = map_layer(_layer(), SU)
+        lat = total_cycles(counts, compute_cycles=1e9)
+        assert lat.total == pytest.approx(
+            1e9 + lat.dram_cycles + lat.sram_write_output_cycles)
+        assert lat.compute_bound
+
+    def test_memory_terms_overlap_with_compute(self):
+        counts = map_layer(_layer(), SU)
+        lat = total_cycles(counts, compute_cycles=0.0)
+        assert lat.overlap_term == max(
+            lat.sram_read_input_cycles, lat.sram_read_weight_cycles,
+            lat.reg_read_cycles, 0.0)
+
+    def test_weight_cr_divides_traffic(self):
+        counts = map_layer(_layer(), SU)
+        plain = total_cycles(counts, 0.0, weight_cr=1.0)
+        halved = total_cycles(counts, 0.0, weight_cr=2.0)
+        assert halved.sram_read_weight_cycles == pytest.approx(
+            plain.sram_read_weight_cycles / 2)
+        assert halved.dram_cycles < plain.dram_cycles
+
+    def test_invalid_cr(self):
+        counts = map_layer(_layer(), SU)
+        with pytest.raises(ValueError, match="positive"):
+            total_cycles(counts, 0.0, weight_cr=0.0)
+
+    def test_overhead_multiplies_sram_weight_reads(self):
+        counts = map_layer(_layer(), SU)
+        plain = total_cycles(counts, 0.0)
+        loaded = total_cycles(counts, 0.0, sram_weight_overhead=1.25)
+        assert loaded.sram_read_weight_cycles == pytest.approx(
+            plain.sram_read_weight_cycles * 1.25)
+
+
+class TestTotalEnergy:
+    def test_components_sum(self):
+        counts = map_layer(_layer(), SU)
+        energy = total_energy(counts, compute_pj=123.0)
+        assert energy.total_pj == pytest.approx(
+            energy.dram_pj + energy.sram_pj + energy.reg_pj + 123.0)
+
+    def test_shares_sum_to_one(self):
+        counts = map_layer(_layer(), SU)
+        energy = total_energy(counts, compute_pj=1e6)
+        assert sum(energy.shares().values()) == pytest.approx(1.0)
+
+    def test_compression_reduces_dram_energy(self):
+        counts = map_layer(_layer(), SU)
+        plain = total_energy(counts, 0.0)
+        compressed = total_energy(counts, 0.0, weight_cr=2.0)
+        assert compressed.dram_pj < plain.dram_pj
+
+    def test_dram_unit_cost_dominates_per_element(self):
+        assert TECH_16NM.dram_pj_per_element > 10 * TECH_16NM.sram_pj_per_element
+
+    def test_invalid_cr(self):
+        counts = map_layer(_layer(), SU)
+        with pytest.raises(ValueError, match="positive"):
+            total_energy(counts, 0.0, act_cr=-1.0)

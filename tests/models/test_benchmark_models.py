@@ -1,0 +1,140 @@
+"""Tests for the four benchmark networks (tiny presets for inference)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    build_bert_base,
+    build_cnn_lstm,
+    build_mobilenetv2,
+    build_resnet18,
+)
+
+
+class TestResNet18:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_resnet18("tiny")
+
+    def test_paper_layer_names_present(self, model):
+        for name in ("conv1", "layer1.0.conv1", "layer4.1.conv2", "fc"):
+            assert name in model
+
+    def test_20_conv_layers_plus_fc(self, model):
+        names = [n for n, _ in model.named_quantized_layers()]
+        convs = [n for n in names if n != "fc"]
+        # 1 stem + 16 block convs + 3 downsample convs = 20.
+        assert len(convs) == 20
+
+    def test_forward_logits_shape(self, model):
+        x = model.sample_inputs(2)
+        assert model.forward(x).shape == (2, 10)
+
+    def test_forward_deterministic(self, model):
+        x = model.sample_inputs(1)
+        np.testing.assert_array_equal(model.forward(x), model.forward(x))
+
+    def test_paper_preset_weight_count(self):
+        model = build_resnet18("paper")
+        # Published ResNet18 has ~11.7M params; conv+fc (no BN) ~11.68M.
+        assert 11e6 < model.total_weights < 12e6
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="preset"):
+            build_resnet18("huge")
+
+
+class TestMobileNetV2:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_mobilenetv2("tiny")
+
+    def test_52_conv_layers(self, model):
+        assert model.num_conv_layers == 52
+        assert "L.0" in model
+        assert "L.51" in model
+        assert "fc" in model
+
+    def test_paper_flip_targets_exist(self, model):
+        for name in ("L.47", "L.48", "L.50", "L.51"):
+            assert name in model
+
+    def test_forward_shape(self, model):
+        x = model.sample_inputs(2)
+        assert model.forward(x).shape == (2, 10)
+
+    def test_paper_preset_weight_count(self):
+        model = build_mobilenetv2("paper")
+        # Published MobileNetV2 has ~3.4M params.
+        assert 3e6 < model.total_weights < 4e6
+
+    def test_late_layers_hold_majority_of_weights(self):
+        model = build_mobilenetv2("paper")
+        counts = model.weight_counts()
+        late = sum(counts[n] for n in ("L.47", "L.48", "L.50", "L.51", "fc"))
+        assert late / model.total_weights > 0.5
+
+
+class TestCnnLstm:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_cnn_lstm("tiny")
+
+    def test_layer_names(self, model):
+        for name in ("conv.0", "conv.1", "LSTM.0", "LSTM.1", "fc"):
+            assert name in model
+
+    def test_forward_mask_same_shape(self, model):
+        x = model.sample_inputs(2)
+        out = model.forward(x)
+        assert out.shape == x.shape
+
+    def test_mask_bounded_by_input(self, model):
+        x = model.sample_inputs(1)
+        out = model.forward(x)
+        # Sigmoid mask: output magnitude cannot exceed the input.
+        assert np.all(np.abs(out) <= np.abs(x) + 1e-6)
+
+    def test_lstm_holds_majority_of_weights(self):
+        model = build_cnn_lstm("paper")
+        counts = model.weight_counts()
+        lstm = counts["LSTM.0"] + counts["LSTM.1"]
+        # Paper: LSTM.0 + LSTM.1 hold ~80% of the weights.
+        assert lstm / model.total_weights > 0.75
+
+
+class TestBertBase:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_bert_base("tiny")
+
+    def test_block_names(self, model):
+        names = model.block_layer_names(0)
+        assert f"bert.encoder.layer.0.attention.query" in names
+        assert f"bert.encoder.layer.0.ffn.output" in names
+        assert len(names) == 6
+
+    def test_forward_span_logits(self, model):
+        tokens = model.sample_inputs(3)
+        out = model.forward(tokens)
+        assert out.shape == (3, model.seq_len, 2)
+
+    def test_paper_preset_dimensions(self):
+        model = build_bert_base("paper")
+        assert model.num_blocks == 12
+        assert model.dim == 768
+        # Encoder weights: 12 x (4 x 768^2 + 2 x 768 x 3072) = ~85M.
+        encoder = sum(
+            count for name, count in model.weight_counts().items()
+            if name.startswith("bert.encoder"))
+        assert 80e6 < encoder < 90e6
+
+    def test_blocks_have_equal_weight_counts(self):
+        model = build_bert_base("tiny")
+        counts = model.weight_counts()
+
+        def block_total(i):
+            return sum(counts[n] for n in model.block_layer_names(i))
+
+        totals = {block_total(i) for i in range(model.num_blocks)}
+        assert len(totals) == 1  # paper: "weights size of each layer equal"

@@ -1,0 +1,105 @@
+"""Tests for the fidelity proxies and evaluator factory."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_cnn_lstm
+from repro.models.fidelity import (
+    PESQ_MAX,
+    f1_proxy,
+    make_evaluator,
+    pesq_proxy,
+    top1_agreement,
+)
+
+
+class TestTop1Agreement:
+    def test_identical_logits(self):
+        logits = np.random.default_rng(0).normal(0, 1, (8, 10))
+        assert top1_agreement(logits, logits) == 1.0
+
+    def test_all_different(self):
+        a = np.zeros((4, 3))
+        a[:, 0] = 1.0
+        b = np.zeros((4, 3))
+        b[:, 1] = 1.0
+        assert top1_agreement(a, b) == 0.0
+
+    def test_partial(self):
+        a = np.eye(4)
+        b = a.copy()
+        b[0] = np.roll(b[0], 1)
+        assert top1_agreement(a, b) == 0.75
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            top1_agreement(np.zeros((2, 3)), np.zeros((3, 2)))
+
+
+class TestPesqProxy:
+    def test_identical_scores_max(self):
+        x = np.random.default_rng(1).normal(0, 1, (4, 8))
+        assert pesq_proxy(x, x) == PESQ_MAX
+
+    def test_monotone_in_noise(self):
+        rng = np.random.default_rng(2)
+        ref = rng.normal(0, 1, (4, 64))
+        scores = [
+            pesq_proxy(ref + rng.normal(0, s, ref.shape), ref)
+            for s in (0.01, 0.1, 0.5, 2.0)
+        ]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_bounded(self):
+        ref = np.ones((2, 4))
+        noisy = ref + 100.0
+        assert 1.0 <= pesq_proxy(noisy, ref) <= PESQ_MAX
+
+
+class TestF1Proxy:
+    def test_identical(self):
+        logits = np.random.default_rng(3).normal(0, 1, (4, 16, 2))
+        assert f1_proxy(logits, logits) == 1.0
+
+    def test_disjoint_spans_zero(self):
+        a = np.zeros((1, 8, 2))
+        a[0, 0, 0] = a[0, 1, 1] = 10.0  # span [0, 1]
+        b = np.zeros((1, 8, 2))
+        b[0, 5, 0] = b[0, 6, 1] = 10.0  # span [5, 6]
+        assert f1_proxy(a, b) == 0.0
+
+    def test_partial_overlap(self):
+        a = np.zeros((1, 8, 2))
+        a[0, 0, 0] = a[0, 3, 1] = 10.0  # span [0..3]
+        b = np.zeros((1, 8, 2))
+        b[0, 2, 0] = b[0, 5, 1] = 10.0  # span [2..5]
+        # Overlap 2 tokens, |a|=4, |b|=4: F1 = 0.5.
+        assert f1_proxy(a, b) == pytest.approx(0.5)
+
+    def test_end_clamped_to_start(self):
+        a = np.zeros((1, 8, 2))
+        a[0, 5, 0] = 10.0  # start 5
+        a[0, 1, 1] = 10.0  # end 1 < start -> clamped to 5
+        assert f1_proxy(a, a) == 1.0
+
+
+class TestMakeEvaluator:
+    def test_identity_weights_score_max(self):
+        model = build_cnn_lstm("tiny")
+        evaluate = make_evaluator(model, model.sample_inputs(2))
+        assert evaluate(model.weights_int8()) == PESQ_MAX
+
+    def test_restores_original_weights(self):
+        model = build_cnn_lstm("tiny")
+        snapshot = model.weights_int8()
+        evaluate = make_evaluator(model, model.sample_inputs(1))
+        zeroed = {k: np.zeros_like(v) for k, v in snapshot.items()}
+        evaluate(zeroed)
+        for name, packed in model.weights_int8().items():
+            assert np.array_equal(packed, snapshot[name])
+
+    def test_degradation_detected(self):
+        model = build_cnn_lstm("tiny")
+        evaluate = make_evaluator(model, model.sample_inputs(2))
+        zeroed = {k: np.zeros_like(v) for k, v in model.weights_int8().items()}
+        assert evaluate(zeroed) < PESQ_MAX

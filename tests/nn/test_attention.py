@@ -1,0 +1,68 @@
+"""Tests for multi-head attention and the transformer encoder block."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadSelfAttention, TransformerEncoderLayer
+from repro.utils.rng import seeded_rng
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self):
+        mhsa = MultiHeadSelfAttention(16, 4, seed=("t", 1))
+        x = np.zeros((2, 5, 16), dtype=np.float32)
+        assert mhsa.forward(x).shape == (2, 5, 16)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError, match="divisible"):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_permutation_equivariance(self):
+        """Self-attention without positional info commutes with token
+        permutations -- a strong functional correctness check."""
+        mhsa = MultiHeadSelfAttention(8, 2, seed=("t", 2))
+        x = seeded_rng("attn-perm").normal(0, 1, (1, 6, 8)).astype(np.float32)
+        perm = np.array([3, 1, 5, 0, 4, 2])
+        out = mhsa.forward(x)
+        out_perm = mhsa.forward(x[:, perm, :])
+        np.testing.assert_allclose(out_perm, out[:, perm, :], atol=1e-5)
+
+    def test_projections_exposed(self):
+        mhsa = MultiHeadSelfAttention(8, 2, seed=("t", 3))
+        assert set(mhsa.projections()) == {"query", "key", "value", "output"}
+
+    def test_attention_mixes_tokens(self):
+        mhsa = MultiHeadSelfAttention(8, 2, seed=("t", 4))
+        x = seeded_rng("attn-mix").normal(0, 1, (1, 4, 8)).astype(np.float32)
+        y = x.copy()
+        y[0, 0] += 10.0  # perturb one token
+        out_x = mhsa.forward(x)
+        out_y = mhsa.forward(y)
+        # Other tokens' outputs must change too (global mixing).
+        assert not np.allclose(out_x[0, 1:], out_y[0, 1:])
+
+
+class TestTransformerEncoderLayer:
+    def test_output_shape(self):
+        block = TransformerEncoderLayer(16, 4, 32, seed=("t", 5))
+        x = np.zeros((2, 3, 16), dtype=np.float32)
+        assert block.forward(x).shape == (2, 3, 16)
+
+    def test_six_quantized_sublayers(self):
+        block = TransformerEncoderLayer(8, 2, 16, seed=("t", 6))
+        subs = block.quantized_sublayers()
+        assert len(subs) == 6
+        assert "ffn.intermediate" in subs
+        assert "attention.query" in subs
+
+    def test_output_layernormed(self):
+        block = TransformerEncoderLayer(16, 4, 32, seed=("t", 7))
+        x = seeded_rng("enc").normal(0, 3, (2, 4, 16)).astype(np.float32)
+        out = block.forward(x)
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+
+    def test_deterministic(self):
+        a = TransformerEncoderLayer(8, 2, 16, seed=("same",))
+        b = TransformerEncoderLayer(8, 2, 16, seed=("same",))
+        x = np.ones((1, 2, 8), dtype=np.float32)
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))

@@ -1,0 +1,158 @@
+"""Tests for the NumPy operators, pinned against direct reference code."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.utils.rng import seeded_rng
+
+
+def _direct_conv2d(x, w, stride, padding):
+    """O(n^7) reference convolution."""
+    b, c, h, wd = x.shape
+    k, _, fy, fx = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - fy) // stride + 1
+    ow = (wd + 2 * padding - fx) // stride + 1
+    out = np.zeros((b, k, oh, ow))
+    for bi in range(b):
+        for ki in range(k):
+            for oy in range(oh):
+                for ox in range(ow):
+                    patch = xp[bi, :, oy * stride:oy * stride + fy,
+                               ox * stride:ox * stride + fx]
+                    out[bi, ki, oy, ox] = (patch * w[ki]).sum()
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 3)])
+    def test_matches_direct(self, stride, padding):
+        rng = seeded_rng("conv-test", stride, padding)
+        x = rng.normal(0, 1, (2, 3, 9, 9))
+        w = rng.normal(0, 1, (4, 3, 3, 3))
+        got = F.conv2d(x, w, stride=stride, padding=padding)
+        want = _direct_conv2d(x, w, stride, padding)
+        np.testing.assert_allclose(got, want, rtol=1e-10)
+
+    def test_1x1_conv_is_channel_matmul(self):
+        rng = seeded_rng("pw-test")
+        x = rng.normal(0, 1, (1, 8, 4, 4))
+        w = rng.normal(0, 1, (16, 8, 1, 1))
+        got = F.conv2d(x, w)
+        want = np.einsum("kc,bchw->bkhw", w[:, :, 0, 0], x)
+        np.testing.assert_allclose(got, want, rtol=1e-10)
+
+    def test_bias_added_per_channel(self):
+        x = np.zeros((1, 2, 3, 3))
+        w = np.zeros((2, 2, 1, 1))
+        bias = np.array([1.0, -2.0])
+        out = F.conv2d(x, w, bias=bias)
+        assert np.all(out[0, 0] == 1.0)
+        assert np.all(out[0, 1] == -2.0)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError, match="channels"):
+            F.conv2d(np.zeros((1, 3, 4, 4)), np.zeros((2, 4, 1, 1)))
+
+    def test_output_shape(self):
+        out = F.conv2d(np.zeros((1, 3, 224, 224)), np.zeros((64, 3, 7, 7)),
+                       stride=2, padding=3)
+        assert out.shape == (1, 64, 112, 112)
+
+
+class TestDepthwiseConv2d:
+    def test_matches_per_channel_conv(self):
+        rng = seeded_rng("dw-test")
+        x = rng.normal(0, 1, (2, 4, 8, 8))
+        w = rng.normal(0, 1, (4, 1, 3, 3))
+        got = F.depthwise_conv2d(x, w, stride=1, padding=1)
+        for c in range(4):
+            want = _direct_conv2d(x[:, c:c + 1], w[c:c + 1], 1, 1)
+            np.testing.assert_allclose(got[:, c:c + 1], want, rtol=1e-10)
+
+    def test_rejects_grouped_weight(self):
+        with pytest.raises(ValueError, match="singleton"):
+            F.depthwise_conv2d(np.zeros((1, 4, 8, 8)), np.zeros((4, 2, 3, 3)))
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError, match="channels"):
+            F.depthwise_conv2d(np.zeros((1, 3, 8, 8)), np.zeros((4, 1, 3, 3)))
+
+
+class TestPooling:
+    def test_maxpool_known(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(x, 2, 2)
+        assert out[0, 0].tolist() == [[5, 7], [13, 15]]
+
+    def test_maxpool_padding_uses_neg_inf(self):
+        x = -np.ones((1, 1, 2, 2))
+        out = F.max_pool2d(x, 3, 2, padding=1)
+        assert out.max() == -1.0  # padding must never win
+
+    def test_avgpool_known(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(x, 2, 2)
+        assert out[0, 0].tolist() == [[2.5, 4.5], [10.5, 12.5]]
+
+    def test_global_avg_pool(self):
+        x = np.arange(8, dtype=float).reshape(1, 2, 2, 2)
+        out = F.global_avg_pool2d(x)
+        assert out.tolist() == [[1.5, 5.5]]
+
+
+class TestNormalization:
+    def test_batchnorm_identity_params(self):
+        x = seeded_rng("bn").normal(0, 1, (2, 3, 4, 4))
+        out = F.batch_norm2d(x, np.zeros(3), np.ones(3) - 1e-5,
+                             np.ones(3), np.zeros(3))
+        np.testing.assert_allclose(out, x, rtol=1e-4)
+
+    def test_layernorm_zero_mean_unit_var(self):
+        x = seeded_rng("ln").normal(3, 5, (2, 8))
+        out = F.layer_norm(x, np.ones(8), np.zeros(8))
+        np.testing.assert_allclose(out.mean(axis=-1), 0, atol=1e-6)
+        np.testing.assert_allclose(out.var(axis=-1), 1, atol=1e-3)
+
+
+class TestActivations:
+    def test_relu(self):
+        assert F.relu(np.array([-1.0, 2.0])).tolist() == [0.0, 2.0]
+
+    def test_relu6_clips(self):
+        assert F.relu6(np.array([-1.0, 3.0, 9.0])).tolist() == [0.0, 3.0, 6.0]
+
+    def test_gelu_at_zero(self):
+        assert F.gelu(np.array([0.0]))[0] == 0.0
+
+    def test_gelu_large_positive_identity(self):
+        np.testing.assert_allclose(F.gelu(np.array([10.0])), [10.0], rtol=1e-4)
+
+    def test_sigmoid_stable_at_extremes(self):
+        out = F.sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+        assert np.isfinite(out).all()
+
+    def test_softmax_rows_sum_to_one(self):
+        x = seeded_rng("sm").normal(0, 10, (4, 7))
+        np.testing.assert_allclose(F.softmax(x).sum(axis=-1), 1.0, rtol=1e-9)
+
+    def test_softmax_shift_invariant(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(F.softmax(x), F.softmax(x + 100), rtol=1e-9)
+
+
+class TestLinear:
+    def test_matches_matmul(self):
+        rng = seeded_rng("lin")
+        x = rng.normal(0, 1, (5, 8))
+        w = rng.normal(0, 1, (3, 8))
+        b = rng.normal(0, 1, 3)
+        np.testing.assert_allclose(F.linear(x, w, b), x @ w.T + b, rtol=1e-12)
+
+    def test_batched_leading_dims(self):
+        x = np.ones((2, 4, 8))
+        w = np.ones((3, 8))
+        assert F.linear(x, w).shape == (2, 4, 3)

@@ -1,0 +1,133 @@
+"""Tests for layer classes, the Model registry and weight round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2d, DepthwiseConv2d, Embedding, Linear
+from repro.nn.lstm import LSTM
+from repro.nn.model import Model
+
+
+class TestConv2dLayer:
+    def test_packed_roundtrip(self):
+        conv = Conv2d(8, 4, 3, seed=("t", 1))
+        packed = conv.packed_weights()
+        original = conv.qweight.values.copy()
+        conv.set_packed_weights(packed)
+        assert np.array_equal(conv.qweight.values, original)
+
+    def test_packed_group_axis_is_input_channels(self):
+        conv = Conv2d(8, 4, 3, seed=("t", 2))
+        packed = conv.packed_weights()
+        # Row k, first 8 entries = weights of kernel k at (fy=0, fx=0)
+        # across all 8 input channels.
+        assert packed.shape == (4, 8 * 9)
+        np.testing.assert_array_equal(
+            packed[0, :8], conv.qweight.values[0, :, 0, 0])
+
+    def test_forward_shape(self):
+        conv = Conv2d(3, 16, 3, stride=2, padding=1, seed=("t", 3))
+        out = conv.forward(np.zeros((2, 3, 8, 8), dtype=np.float32))
+        assert out.shape == (2, 16, 4, 4)
+
+    def test_weights_are_int8_scaled(self):
+        conv = Conv2d(4, 4, 1, seed=("t", 4))
+        w = conv.weight
+        np.testing.assert_allclose(
+            w, conv.qweight.values * np.float32(conv.qweight.scale))
+
+
+class TestDepthwiseLayer:
+    def test_packed_roundtrip(self):
+        dw = DepthwiseConv2d(16, 3, seed=("t", 5))
+        original = dw.qweight.values.copy()
+        dw.set_packed_weights(dw.packed_weights())
+        assert np.array_equal(dw.qweight.values, original)
+
+    def test_forward_preserves_channels(self):
+        dw = DepthwiseConv2d(6, 3, padding=1, seed=("t", 6))
+        out = dw.forward(np.zeros((1, 6, 5, 5), dtype=np.float32))
+        assert out.shape == (1, 6, 5, 5)
+
+
+class TestLinearLayer:
+    def test_packed_is_weight_matrix(self):
+        fc = Linear(8, 3, seed=("t", 7))
+        assert np.array_equal(fc.packed_weights(), fc.qweight.values)
+
+    def test_set_packed_rejects_bad_size(self):
+        fc = Linear(8, 3, seed=("t", 8))
+        with pytest.raises(ValueError):
+            fc.set_packed_weights(np.zeros((2, 8), dtype=np.int8))
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, seed=("t", 9))
+        out = emb.forward(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_allclose(out[0, 0], emb.weight[1])
+
+
+class TestLSTM:
+    def test_output_shape(self):
+        lstm = LSTM(8, 16, num_layers=2, seed=("t", 10))
+        out = lstm.forward(np.zeros((3, 5, 8), dtype=np.float32))
+        assert out.shape == (3, 5, 16)
+
+    def test_zero_weights_zero_input_gives_sigmoid_bias_dynamics(self):
+        lstm = LSTM(4, 4, num_layers=1, seed=("t", 11))
+        layer = lstm.layers[0]
+        layer.set_packed_weights(
+            np.zeros_like(layer.packed_weights()))
+        out = lstm.forward(np.zeros((1, 3, 4), dtype=np.float32))
+        # With zero weights, gates depend on bias only; forget bias 1.0,
+        # other gates 0 -> i=0.5, g=0, so c stays 0 and h stays 0.
+        np.testing.assert_allclose(out, 0.0, atol=1e-7)
+
+    def test_deterministic_given_seed(self):
+        a = LSTM(4, 8, seed=("same",))
+        b = LSTM(4, 8, seed=("same",))
+        x = np.ones((1, 2, 4), dtype=np.float32)
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_state_propagates_through_time(self):
+        lstm = LSTM(2, 4, seed=("t", 12))
+        x = np.ones((1, 4, 2), dtype=np.float32)
+        out = lstm.forward(x)
+        # Hidden state must evolve over constant input.
+        assert not np.allclose(out[0, 0], out[0, -1])
+
+
+class TestModelRegistry:
+    def _model(self) -> Model:
+        m = Model("toy")
+        m.add("fc1", Linear(4, 4, seed=("m", 1)))
+        m.add("fc2", Linear(4, 2, seed=("m", 2)))
+        return m
+
+    def test_duplicate_name_rejected(self):
+        m = self._model()
+        with pytest.raises(ValueError, match="duplicate"):
+            m.add("fc1", Linear(2, 2))
+
+    def test_weights_roundtrip(self):
+        m = self._model()
+        snapshot = m.weights_int8()
+        m.set_weights_int8(snapshot)
+        for name, packed in m.weights_int8().items():
+            assert np.array_equal(packed, snapshot[name])
+
+    def test_set_unknown_layer_raises(self):
+        m = self._model()
+        with pytest.raises(KeyError, match="unknown"):
+            m.set_weights_int8({"nope": np.zeros((2, 2), dtype=np.int8)})
+
+    def test_total_weights(self):
+        m = self._model()
+        assert m.total_weights == 4 * 4 + 4 * 2
+
+    def test_contains(self):
+        m = self._model()
+        assert "fc1" in m
+        assert "fc9" not in m

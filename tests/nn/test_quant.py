@@ -1,0 +1,123 @@
+"""Tests for the quantization package."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quant import (
+    MinMaxObserver,
+    PercentileObserver,
+    QTensor,
+    dequantize,
+    ptq_reduce_bits,
+    quantize_symmetric,
+)
+
+
+class TestQuantizeSymmetric:
+    def test_range_maps_to_127(self):
+        q = quantize_symmetric(np.array([-2.0, 0.0, 2.0]))
+        assert q.values.tolist() == [-127, 0, 127]
+
+    def test_never_produces_minus_128(self):
+        rng = np.random.default_rng(0)
+        q = quantize_symmetric(rng.normal(0, 1, 10000))
+        assert q.values.min() >= -127
+
+    def test_scale_positive_for_zero_tensor(self):
+        q = quantize_symmetric(np.zeros(4))
+        assert q.scale > 0
+
+    def test_quantization_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(0, 1, 1000)
+        q = quantize_symmetric(w)
+        err = np.abs(q.dequantize() - w)
+        assert err.max() <= q.scale / 2 + 1e-9
+
+    @given(st.floats(0.01, 100.0))
+    def test_scale_proportional_to_amax(self, amax):
+        q = quantize_symmetric(np.array([0.0]), amax=amax)
+        assert q.scale == pytest.approx(amax / 127)
+
+
+class TestQTensor:
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            QTensor(np.zeros(2, dtype=np.int8), 0.0)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError, match="bits"):
+            QTensor(np.zeros(2, dtype=np.int8), 1.0, bits=9)
+
+    def test_with_values_shape_checked(self):
+        q = QTensor(np.zeros(4, dtype=np.int8), 1.0)
+        with pytest.raises(ValueError, match="shape"):
+            q.with_values(np.zeros(5, dtype=np.int8))
+
+    def test_dequantize(self):
+        q = QTensor(np.array([2, -4], dtype=np.int8), 0.5)
+        assert dequantize(q).tolist() == [1.0, -2.0]
+
+
+class TestPtqReduceBits:
+    def test_8_bits_is_identity(self):
+        q = quantize_symmetric(np.random.default_rng(2).normal(0, 1, 64))
+        assert ptq_reduce_bits(q, 8) is q
+
+    def test_values_snap_to_coarse_grid(self):
+        q = QTensor(np.array([37, -55, 100], dtype=np.int8), 1.0)
+        out = ptq_reduce_bits(q, 4)
+        assert np.all(out.values % 16 == 0)
+        assert out.bits == 4
+
+    def test_monotone_error_in_bits(self):
+        rng = np.random.default_rng(3)
+        q = quantize_symmetric(rng.normal(0, 1, 2048))
+        errs = []
+        for bits in (8, 6, 4, 2):
+            out = ptq_reduce_bits(q, bits)
+            errs.append(float(np.abs(
+                out.values.astype(int) - q.values.astype(int)).mean()))
+        assert errs == sorted(errs)
+
+    def test_invalid_bits(self):
+        q = QTensor(np.zeros(2, dtype=np.int8), 1.0)
+        with pytest.raises(ValueError, match="bits"):
+            ptq_reduce_bits(q, 0)
+
+    def test_reduced_values_stay_int8_range(self):
+        q = QTensor(np.array([127, -127], dtype=np.int8), 1.0)
+        for bits in range(1, 8):
+            out = ptq_reduce_bits(q, bits)
+            assert out.values.max() <= 127
+            assert out.values.min() >= -127
+
+
+class TestObservers:
+    def test_minmax_tracks_amax(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, -3.0]))
+        obs.observe(np.array([2.0]))
+        assert obs.range() == 3.0
+
+    def test_minmax_unobserved_raises(self):
+        with pytest.raises(RuntimeError, match="no tensors"):
+            MinMaxObserver().range()
+
+    def test_percentile_clips_outliers(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(0, 1, 100_000)
+        data[0] = 1000.0
+        obs = PercentileObserver(percentile=99.9)
+        obs.observe(data)
+        assert obs.range() < 10.0
+
+    def test_percentile_validates_argument(self):
+        with pytest.raises(ValueError, match="percentile"):
+            PercentileObserver(percentile=0.0)
+
+    def test_percentile_unobserved_raises(self):
+        with pytest.raises(RuntimeError, match="no tensors"):
+            PercentileObserver().range()

@@ -1,0 +1,150 @@
+"""Tests for the sparsity statistics, including the analytic Bit-Flip
+histogram transform against real flipping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.bitcolumn import group_weights, nonzero_column_counts
+from repro.core.bitflip import flip_layer
+from repro.sparsity.stats import (
+    compute_layer_stats,
+    expected_max_of_sample,
+)
+
+int8_tensors = arrays(np.int8, st.integers(64, 512),
+                      elements=st.integers(-127, 127))
+
+
+class TestExpectedMaxOfSample:
+    def test_m_one_is_mean(self):
+        hist = np.array([1, 2, 3, 4])
+        mean = (np.arange(4) * hist).sum() / hist.sum()
+        assert expected_max_of_sample(hist, 1) == pytest.approx(mean)
+
+    def test_monotone_in_m(self):
+        hist = np.array([5, 5, 5, 5, 5])
+        values = [expected_max_of_sample(hist, m) for m in (1, 2, 4, 8, 64)]
+        assert values == sorted(values)
+
+    def test_converges_to_max_value(self):
+        hist = np.array([10, 10, 10])
+        assert expected_max_of_sample(hist, 10_000) == pytest.approx(2.0, abs=1e-2)
+
+    def test_point_mass(self):
+        hist = np.array([0, 0, 0, 7])
+        for m in (1, 3, 100):
+            assert expected_max_of_sample(hist, m) == 3.0
+
+    def test_empty_histogram(self):
+        assert expected_max_of_sample(np.zeros(9), 4) == 0.0
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError, match="sample size"):
+            expected_max_of_sample(np.ones(3), 0)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 9, 50_000)
+        hist = np.bincount(values, minlength=9)
+        m = 16
+        draws = rng.choice(values, size=(20_000, m)).max(axis=1)
+        assert expected_max_of_sample(hist, m) == pytest.approx(
+            draws.mean(), abs=0.05)
+
+
+class TestComputeLayerStats:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            compute_layer_stats(np.array([], dtype=np.int8))
+
+    def test_sparsity_fields_consistent(self, laplacian_int8):
+        stats = compute_layer_stats(laplacian_int8)
+        assert 0 < stats.value_sparsity < 1
+        assert stats.bit_sparsity_sm > stats.bit_sparsity_2c
+
+    def test_essential_bits_histogram_sums_to_count(self, laplacian_int8):
+        stats = compute_layer_stats(laplacian_int8)
+        assert stats.essential_bits_hist.sum() == laplacian_int8.size
+
+    def test_essential_bits_mean_matches_bit_sparsity(self, laplacian_int8):
+        stats = compute_layer_stats(laplacian_int8)
+        assert stats.essential_bits_mean == pytest.approx(
+            8 * (1 - stats.bit_sparsity_2c))
+
+    def test_significance_occupancy_bounds(self, laplacian_int8):
+        stats = compute_layer_stats(laplacian_int8)
+        assert stats.significance_occupancy.shape == (8,)
+        assert np.all(stats.significance_occupancy >= 0)
+        assert np.all(stats.significance_occupancy <= 1)
+
+    def test_nz_histograms_per_group_size(self, laplacian_int8):
+        stats = compute_layer_stats(laplacian_int8)
+        for g in (8, 16, 32, 64):
+            hist = stats.nz_column_hists[g]
+            assert hist.sum() == -(-laplacian_int8.size // g)
+
+    def test_mean_nz_columns_grows_with_group(self, laplacian_int8):
+        stats = compute_layer_stats(laplacian_int8)
+        means = [stats.mean_nz_columns(g) for g in (8, 16, 32, 64)]
+        assert means == sorted(means)
+
+    def test_cr_real_below_ideal(self, laplacian_int8):
+        stats = compute_layer_stats(laplacian_int8)
+        for g in (8, 16, 32):
+            assert stats.bcs_cr[g] < stats.bcs_cr_ideal[g]
+
+
+class TestWithBitflip:
+    def test_caps_histogram(self, laplacian_int8):
+        stats = compute_layer_stats(laplacian_int8)
+        flipped = stats.with_bitflip(5)
+        for g in (8, 16, 32):
+            hist = flipped.nz_column_hists[g]
+            assert hist[4:].sum() == 0 or hist[3] >= 0
+            assert hist[8 - 5 + 1:].sum() == 0  # nothing above cap
+
+    def test_group_count_preserved(self, laplacian_int8):
+        stats = compute_layer_stats(laplacian_int8)
+        flipped = stats.with_bitflip(4)
+        for g in (8, 16, 32):
+            assert flipped.nz_column_hists[g].sum() == \
+                stats.nz_column_hists[g].sum()
+
+    def test_cr_improves(self, laplacian_int8):
+        stats = compute_layer_stats(laplacian_int8)
+        flipped = stats.with_bitflip(5)
+        for g in (8, 16, 32):
+            assert flipped.bcs_cr[g] > stats.bcs_cr[g]
+
+    def test_zero_target_is_identity(self, laplacian_int8):
+        stats = compute_layer_stats(laplacian_int8)
+        same = stats.with_bitflip(0)
+        for g in (8, 16, 32):
+            assert np.array_equal(
+                same.nz_column_hists[g], stats.nz_column_hists[g])
+
+    @given(int8_tensors, st.sampled_from([3, 5]), st.sampled_from([8, 16]))
+    @settings(max_examples=25, deadline=None)
+    def test_analytic_upper_bounds_real_flip(self, tensor, target, g):
+        """The histogram transform must upper-bound real per-group counts.
+
+        Real flipping can exceed the target (rounding may zero extra
+        columns), so the analytic cap min(orig, 8 - target) bounds the
+        achieved non-zero-column count group by group.
+        """
+        orig_counts = nonzero_column_counts(group_weights(tensor, g))
+        flipped = flip_layer(tensor, target, g).weights
+        real_counts = nonzero_column_counts(group_weights(flipped, g))
+        analytic = np.minimum(orig_counts, 8 - target)
+        assert np.all(real_counts <= analytic)
+
+    def test_analytic_matches_real_distribution_closely(self, laplacian_int8):
+        g, target = 16, 5
+        stats = compute_layer_stats(laplacian_int8)
+        analytic_mean = stats.with_bitflip(target).mean_nz_columns(g)
+        flipped = flip_layer(laplacian_int8, target, g).weights
+        real = nonzero_column_counts(group_weights(flipped, g)).mean()
+        assert analytic_mean == pytest.approx(real, rel=0.1)

@@ -1,0 +1,45 @@
+"""Tests for repro.utils.rng and repro.utils.tables."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import seeded_rng
+from repro.utils.tables import format_table
+
+
+class TestSeededRng:
+    def test_same_tokens_same_stream(self):
+        a = seeded_rng("net", "layer", 3)
+        b = seeded_rng("net", "layer", 3)
+        assert np.array_equal(a.integers(0, 100, 10), b.integers(0, 100, 10))
+
+    def test_different_tokens_differ(self):
+        a = seeded_rng("net", "layer", 3)
+        b = seeded_rng("net", "layer", 4)
+        assert not np.array_equal(a.integers(0, 1 << 30, 8), b.integers(0, 1 << 30, 8))
+
+    def test_token_concatenation_not_ambiguous(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        a = seeded_rng("ab", "c")
+        b = seeded_rng("a", "bc")
+        assert not np.array_equal(a.integers(0, 1 << 30, 8), b.integers(0, 1 << 30, 8))
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "x"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["h"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159265]])
+        assert "3.142" in out
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])

@@ -1,0 +1,117 @@
+"""Tests for layer specs and the network tables (Fig. 12 left)."""
+
+import pytest
+
+from repro.workloads import (
+    LayerSpec,
+    NETWORKS,
+    network_layers,
+    synthetic_weights,
+)
+
+
+class TestLayerSpec:
+    def test_macs_conv(self):
+        spec = LayerSpec("x", "n", "conv", k=2, c=3, ox=4, oy=5, fx=2, fy=2)
+        assert spec.macs == 2 * 3 * 4 * 5 * 2 * 2
+
+    def test_weight_count_fc(self):
+        spec = LayerSpec("x", "n", "fc", k=10, c=20, ox=1)
+        assert spec.weight_count == 200
+
+    def test_weight_count_dwconv(self):
+        spec = LayerSpec("x", "n", "dwconv", k=16, c=1, ox=8, oy=8, fx=3, fy=3)
+        assert spec.weight_count == 16 * 9
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            LayerSpec("x", "n", "attention", k=1, c=1, ox=1)
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError, match="k"):
+            LayerSpec("x", "n", "conv", k=0, c=1, ox=1)
+
+    def test_rejects_bad_sparsity(self):
+        with pytest.raises(ValueError, match="sparsity"):
+            LayerSpec("x", "n", "fc", k=1, c=1, ox=1, input_value_sparsity=1.0)
+
+    def test_scaled_batch(self):
+        spec = LayerSpec("x", "n", "fc", k=8, c=8, ox=2)
+        assert spec.scaled(4).macs == 4 * spec.macs
+
+
+class TestNetworkTables:
+    def test_unknown_network(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            network_layers("alexnet")
+
+    def test_resnet18_published_shape(self):
+        layers = network_layers("resnet18")
+        assert len(layers) == 21  # 20 convs + fc
+        total_macs = sum(s.macs for s in layers)
+        # Published ResNet18 @224: ~1.82 GMACs.
+        assert 1.7e9 < total_macs < 1.95e9
+        total_weights = sum(s.weight_count for s in layers)
+        assert 11e6 < total_weights < 12e6
+
+    def test_mobilenetv2_published_shape(self):
+        layers = network_layers("mobilenetv2")
+        total_macs = sum(s.macs for s in layers)
+        # Published MobileNetV2 @224: ~0.3 GMACs.
+        assert 0.25e9 < total_macs < 0.35e9
+        total_weights = sum(s.weight_count for s in layers)
+        assert 3e6 < total_weights < 4e6
+
+    def test_mobilenetv2_names_l0_to_l51(self):
+        names = [s.name for s in network_layers("mobilenetv2")]
+        assert names[0] == "L.0"
+        assert "L.51" in names
+        assert names[-1] == "fc"
+
+    def test_bert_weight_count(self):
+        layers = network_layers("bert_base")
+        encoder = sum(s.weight_count for s in layers if s.name != "qa_outputs")
+        # 12 x (4 x 768^2 + 2 x 768 x 3072) = ~85M.
+        assert 84e6 < encoder < 86e6
+
+    def test_bert_tokens_parameterized(self):
+        from repro.workloads import bert_base_layers
+
+        layers = bert_base_layers(tokens=128)
+        assert all(s.ox == 128 for s in layers)
+
+    def test_cnn_lstm_lstm_dominates_weights(self):
+        layers = {s.name: s for s in network_layers("cnn_lstm")}
+        lstm = layers["LSTM.0"].weight_count + layers["LSTM.1"].weight_count
+        total = sum(s.weight_count for s in layers.values())
+        assert lstm / total > 0.75
+
+    def test_all_networks_have_dense_first_input(self):
+        for net in NETWORKS:
+            first = network_layers(net)[0]
+            assert first.input_value_sparsity == 0.0
+
+
+class TestSyntheticWeights:
+    def test_deterministic(self):
+        spec = network_layers("resnet18")[2]
+        import numpy as np
+
+        assert np.array_equal(synthetic_weights(spec), synthetic_weights(spec))
+
+    def test_shape_matches_weight_count(self):
+        import numpy as np
+
+        for spec in network_layers("mobilenetv2")[:6]:
+            w = synthetic_weights(spec)
+            assert int(np.prod(w.shape)) == spec.weight_count
+
+    def test_realistic_distribution(self):
+        import numpy as np
+
+        spec = network_layers("resnet18")[5]
+        w = synthetic_weights(spec).astype(np.float64)
+        # Small-magnitude dominated: mean |w| well below half range.
+        assert np.abs(w).mean() < 40
+        # Has some exact zeros (Fig. 1 value sparsity).
+        assert 0.01 < (w == 0).mean() < 0.15
