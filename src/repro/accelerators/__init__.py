@@ -7,9 +7,12 @@ from repro.accelerators.base import (
 )
 from repro.accelerators.bitlet import Bitlet
 from repro.accelerators.bitwave import (
+    BITWAVE_VARIANTS,
+    BREAKDOWN_CONFIGS,
     BitWave,
     DEFAULT_BITFLIP_TARGETS,
     bitflip_targets_for,
+    build_bitwave_variant,
 )
 from repro.accelerators.huaa import HUAA
 from repro.accelerators.pragmatic import Pragmatic
@@ -37,6 +40,8 @@ def build_accelerator(name: str) -> Accelerator:
 
 __all__ = [
     "Accelerator",
+    "BITWAVE_VARIANTS",
+    "BREAKDOWN_CONFIGS",
     "BitWave",
     "Bitlet",
     "DEFAULT_BITFLIP_TARGETS",
@@ -49,4 +54,5 @@ __all__ = [
     "Stripes",
     "bitflip_targets_for",
     "build_accelerator",
+    "build_bitwave_variant",
 ]

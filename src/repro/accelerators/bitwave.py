@@ -103,6 +103,28 @@ DEFAULT_BITFLIP_TARGETS: dict[str, dict[str, int]] = {
 }
 
 
+#: The Fig. 13 ablation ladder: variant name -> (dataflow, columns,
+#: bitflip) constructor knobs, in presentation order.
+BREAKDOWN_CONFIGS: dict[str, tuple[str, str, bool]] = {
+    "Dense": ("fixed", "dense", False),
+    "+DF": ("dynamic", "dense", False),
+    "+DF+SM": ("dynamic", "sm", False),
+    "+DF+SM+BF": ("dynamic", "sm", True),
+}
+
+#: Variant names in presentation order (Fig. 13's x axis).
+BITWAVE_VARIANTS = tuple(BREAKDOWN_CONFIGS)
+
+
+def build_bitwave_variant(variant: str) -> "BitWave":
+    """Construct one rung of the Fig. 13 ablation ladder by name."""
+    if variant not in BREAKDOWN_CONFIGS:
+        raise ValueError(
+            f"unknown BitWave variant {variant!r}; one of {BITWAVE_VARIANTS}")
+    dataflow, columns, bitflip = BREAKDOWN_CONFIGS[variant]
+    return BitWave(dataflow, columns, bitflip)
+
+
 def bitflip_targets_for(network: str, layer_names: list[str]) -> dict[str, int]:
     """Resolve the per-network glob strategy to concrete layer targets.
 

@@ -13,21 +13,27 @@ T = TypeVar("T")
 
 
 def pareto_front(
-    points: Sequence[tuple[float, float, T]]
+    points: Sequence[tuple[float, float, T]],
+    maximize: tuple[bool, bool] = (True, True),
 ) -> list[tuple[float, float, T]]:
     """Return the non-dominated subset of ``(cr, accuracy, payload)`` points.
 
-    Both objectives are maximized.  A point is kept when no other point
-    has strictly higher CR *and* at-least-equal accuracy, or strictly
-    higher accuracy *and* at-least-equal CR.  Output is sorted by
-    ascending CR (so accuracy is non-increasing along the front).
+    By default both objectives are maximized.  A point is kept when no
+    other point has a strictly better first objective *and* an
+    at-least-equal second objective, or vice versa.  ``maximize``
+    flips either objective to minimization (the DSE engine extracts
+    cycles-vs-energy fronts with ``maximize=(False, False)``).  Output
+    is sorted so the first objective goes from worst to best (for the
+    default senses: ascending CR, non-increasing accuracy).
     """
+    sx = 1.0 if maximize[0] else -1.0
+    sy = 1.0 if maximize[1] else -1.0
     front: list[tuple[float, float, T]] = []
-    ordered = sorted(points, key=lambda p: (-p[0], -p[1]))
-    best_accuracy = float("-inf")
+    ordered = sorted(points, key=lambda p: (-sx * p[0], -sy * p[1]))
+    best_second = float("-inf")
     for cr, accuracy, payload in ordered:
-        if accuracy > best_accuracy:
+        if sy * accuracy > best_second:
             front.append((cr, accuracy, payload))
-            best_accuracy = accuracy
+            best_second = sy * accuracy
     front.reverse()
     return front

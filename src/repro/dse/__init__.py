@@ -1,0 +1,51 @@
+"""Design-space exploration engine.
+
+Declarative evaluation campaigns (:class:`CampaignSpec`) over the
+accelerator x network x variant grid, executed in parallel over a
+process pool (:func:`run_campaign`) with results persisted in a
+:class:`ResultStore` keyed by stable config hashes -- so re-runs are
+incremental and grids are shared across processes and sessions.
+
+CLI: ``python -m repro.dse {init,points,run,summary,pareto}``.
+"""
+
+from repro.dse.executor import CampaignRun, evaluate_point, run_campaign
+from repro.dse.records import (
+    evaluation_from_dict,
+    evaluation_to_dict,
+    make_record,
+)
+from repro.dse.spec import (
+    CampaignSpec,
+    EvalPoint,
+    code_fingerprint,
+    config_hash,
+    paper_grid,
+)
+from repro.dse.store import ResultStore, default_store_root
+from repro.dse.summary import (
+    METRICS,
+    campaign_pareto,
+    pareto_table,
+    summary_table,
+)
+
+__all__ = [
+    "METRICS",
+    "CampaignRun",
+    "CampaignSpec",
+    "EvalPoint",
+    "ResultStore",
+    "campaign_pareto",
+    "code_fingerprint",
+    "config_hash",
+    "default_store_root",
+    "evaluate_point",
+    "evaluation_from_dict",
+    "evaluation_to_dict",
+    "make_record",
+    "paper_grid",
+    "pareto_table",
+    "run_campaign",
+    "summary_table",
+]

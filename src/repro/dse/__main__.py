@@ -1,0 +1,179 @@
+"""``python -m repro.dse``: define, run, resume, and summarize campaigns.
+
+Examples::
+
+    # Write a template spec (defaults to the full paper grid).
+    python -m repro.dse init --out campaign.json
+
+    # Run/resume it on 4 workers (cached points are skipped).
+    python -m repro.dse run --spec campaign.json --jobs 4
+
+    # Inline specs work too, for quick sweeps and CI smoke tests.
+    python -m repro.dse run --name smoke \\
+        --accelerators SCNN,Stripes --networks cnn_lstm --jobs 2
+
+    # Summaries read the store only -- no evaluation.
+    python -m repro.dse summary --spec campaign.json
+    python -m repro.dse pareto --spec campaign.json --x cycles --y energy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.dse.executor import run_campaign
+from repro.dse.spec import CampaignSpec, paper_grid
+from repro.dse.store import ResultStore
+from repro.dse.summary import METRICS, pareto_table, summary_table
+from repro.utils.progress import ProgressPrinter
+
+
+def _csv(value: str) -> tuple[str, ...]:
+    return tuple(part for part in value.split(",") if part)
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--name", default="adhoc",
+                        help="campaign name for inline specs")
+    parser.add_argument("--accelerators", type=_csv, default=(),
+                        metavar="A,B", help="comma-separated accelerators")
+    parser.add_argument("--networks", type=_csv, default=(),
+                        metavar="N,M", help="comma-separated networks")
+    parser.add_argument("--variants", type=_csv, default=(),
+                        metavar="V,W", help="comma-separated BitWave variants")
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--spec", metavar="FILE",
+                        help="campaign spec JSON (from `init`)")
+    _add_grid_arguments(parser)
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="result-store root (default: "
+                             "$REPRO_DSE_STORE or ~/.cache/repro-dse)")
+
+
+def _inline_spec(args: argparse.Namespace) -> CampaignSpec:
+    spec = CampaignSpec(
+        name=args.name,
+        accelerators=args.accelerators,
+        networks=args.networks,
+        variants=args.variants,
+    )
+    spec.validate()
+    return spec
+
+
+def _load_spec(args: argparse.Namespace) -> CampaignSpec:
+    if args.spec:
+        if args.accelerators or args.networks or args.variants:
+            raise SystemExit("--spec and inline grid flags are exclusive")
+        return CampaignSpec.from_json(args.spec)
+    return _inline_spec(args)
+
+
+def _store(args: argparse.Namespace) -> ResultStore:
+    return ResultStore(args.store)
+
+
+def _cmd_init(args: argparse.Namespace) -> int:
+    if args.accelerators or args.networks or args.variants:
+        spec = _inline_spec(args)
+    else:
+        spec = paper_grid(args.name)
+    spec.to_json(args.out)
+    print(f"wrote {args.out}: {len(spec.points())} points "
+          f"({spec.name})")
+    return 0
+
+
+def _cmd_points(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    store = _store(args)
+    for point in spec.points():
+        status = "cached" if point.key() in store else "pending"
+        print(f"{point.key()}  {status:8s}  {point.label}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    store = _store(args)
+    progress = None if args.quiet else ProgressPrinter()
+    run = run_campaign(
+        spec, store, jobs=args.jobs, force=args.force, progress=progress)
+    print(run.summary_line)
+    print()
+    print(summary_table(spec, store))
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    print(summary_table(spec, _store(args)))
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    print(pareto_table(spec, _store(args), x=args.x, y=args.y))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dse",
+        description="design-space-exploration campaigns over the "
+                    "accelerator evaluation grid",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_init = sub.add_parser(
+        "init", help="write a campaign spec JSON (default: full paper grid)")
+    _add_grid_arguments(p_init)
+    p_init.add_argument("--out", required=True, metavar="FILE")
+    p_init.set_defaults(func=_cmd_init)
+
+    p_points = sub.add_parser(
+        "points", help="list the grid points, keys and cache status")
+    _add_spec_arguments(p_points)
+    p_points.set_defaults(func=_cmd_points)
+
+    p_run = sub.add_parser("run", help="run or resume a campaign")
+    _add_spec_arguments(p_run)
+    p_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (0 = all CPUs; default 1)")
+    p_run.add_argument("--force", action="store_true",
+                       help="re-evaluate points already in the store")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="suppress per-point progress lines")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_summary = sub.add_parser(
+        "summary", help="print stored metrics for a campaign")
+    _add_spec_arguments(p_summary)
+    p_summary.set_defaults(func=_cmd_summary)
+
+    p_pareto = sub.add_parser(
+        "pareto", help="extract the Pareto front over two metrics")
+    _add_spec_arguments(p_pareto)
+    p_pareto.add_argument("--x", default="cycles", choices=sorted(METRICS),
+                          help="first objective (default: cycles)")
+    p_pareto.add_argument("--y", default="energy", choices=sorted(METRICS),
+                          help="second objective (default: energy)")
+    p_pareto.set_defaults(func=_cmd_pareto)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,154 @@
+"""Parallel campaign execution over a ``multiprocessing`` pool.
+
+The executor fans the campaign's evaluation points out over worker
+processes, chunked so points sharing a network (and therefore its
+expensive sparsity profile) tend to land on the same worker.  Workers
+only compute; the parent process owns the result store and appends
+records as results stream back, so resuming an interrupted campaign
+re-evaluates only the missing points.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.accelerators.base import NetworkEvaluation
+from repro.dse.records import evaluation_from_dict, evaluation_to_dict, make_record
+from repro.dse.spec import CampaignSpec, EvalPoint
+from repro.dse.store import ResultStore
+
+#: ``progress(done, total, label, *, cached, elapsed_s)``
+ProgressFn = Callable[..., None]
+
+
+def evaluate_point(point: EvalPoint) -> NetworkEvaluation:
+    """Evaluate one grid point (STEP1-STEP4 for every layer)."""
+    return point.evaluate()
+
+
+def _worker(point: EvalPoint) -> tuple[str, dict[str, Any], float]:
+    start = time.perf_counter()
+    evaluation = evaluate_point(point)
+    return point.key(), evaluation_to_dict(evaluation), time.perf_counter() - start
+
+
+@dataclass
+class CampaignRun:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    spec: CampaignSpec
+    store_path: Path
+    points: list[EvalPoint]
+    total: int = 0
+    cached: int = 0
+    evaluated: int = 0
+    #: Evaluations whose records could not be written (store down).
+    persist_failures: int = 0
+    #: config-hash key -> deserialized/computed evaluation, all points.
+    results: dict[str, NetworkEvaluation] = field(default_factory=dict)
+
+    def result_for(self, point: EvalPoint) -> NetworkEvaluation:
+        return self.results[point.key()]
+
+    def grid(self) -> dict[tuple[str, str], NetworkEvaluation]:
+        """``(config label, network) -> evaluation`` for every point."""
+        return {
+            (point.config_label, point.network): self.result_for(point)
+            for point in self.points
+        }
+
+    @property
+    def summary_line(self) -> str:
+        line = (
+            f"campaign {self.spec.name}: total={self.total} "
+            f"cached={self.cached} evaluated={self.evaluated} "
+            f"store={self.store_path}"
+        )
+        if self.persist_failures:
+            line += f" (WARNING: {self.persist_failures} results not persisted)"
+        return line
+
+
+def resolve_jobs(jobs: int) -> int:
+    """``0`` means one worker per available CPU."""
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs or os.cpu_count() or 1
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore | None = None,
+    *,
+    jobs: int = 1,
+    chunksize: int | None = None,
+    force: bool = False,
+    progress: ProgressFn | None = None,
+) -> CampaignRun:
+    """Run (or resume) a campaign; returns the full result grid.
+
+    Points whose key already exists in ``store`` are served from disk
+    unless ``force`` re-evaluates them.  ``jobs > 1`` evaluates the
+    pending points on a process pool; ``jobs=0`` uses every CPU.
+    """
+    spec.validate()
+    if store is None:
+        store = ResultStore()
+    jobs = resolve_jobs(jobs)
+    points = spec.points()
+    by_key = {point.key(): point for point in points}
+    run = CampaignRun(spec=spec, store_path=store.path, points=points,
+                      total=len(points))
+
+    pending: list[EvalPoint] = []
+    done = 0
+    for point in points:
+        evaluation = None if force else store.evaluation(point.key())
+        if evaluation is not None:
+            run.results[point.key()] = evaluation
+            run.cached += 1
+            done += 1
+            if progress is not None:
+                progress(done, run.total, point.label,
+                         cached=True, elapsed_s=None)
+        else:
+            pending.append(point)
+
+    store_down = False
+
+    def commit(key: str, result: dict[str, Any], elapsed: float) -> None:
+        nonlocal done, store_down
+        point = by_key[key]
+        if store_down:
+            run.persist_failures += 1
+        else:
+            try:
+                store.put(key, make_record(point, result, elapsed_s=elapsed))
+            except OSError:
+                # An unwritable store costs persistence, not the run.
+                store_down = True
+                run.persist_failures += 1
+        run.results[key] = evaluation_from_dict(result)
+        run.evaluated += 1
+        done += 1
+        if progress is not None:
+            progress(done, run.total, point.label,
+                     cached=False, elapsed_s=elapsed)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for point in pending:
+            commit(*_worker(point))
+    elif pending:
+        if chunksize is None:
+            chunksize = max(1, len(pending) // (jobs * 4))
+        workers = min(jobs, len(pending))
+        with multiprocessing.Pool(processes=workers) as pool:
+            for key, result, elapsed in pool.imap_unordered(
+                    _worker, pending, chunksize=chunksize):
+                commit(key, result, elapsed)
+    return run

@@ -1,0 +1,80 @@
+"""JSON (de)serialization of evaluation results.
+
+The result store persists :class:`repro.accelerators.base.NetworkEvaluation`
+objects as JSON records.  Every numeric field is a Python float/int, and
+``json`` round-trips floats exactly (shortest-repr), so a deserialized
+evaluation is bit-identical to the freshly computed one -- the property
+the harness-equivalence tests pin.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict
+from typing import Any, Mapping
+
+from repro.accelerators.base import LayerEvaluation, NetworkEvaluation
+from repro.dse.spec import EvalPoint, code_fingerprint
+from repro.model.energy import EnergyBreakdown
+from repro.model.latency import LatencyBreakdown
+from repro.model.zigzag import ActivityCounts
+
+#: Bump when the record layout changes.
+RECORD_VERSION = 1
+
+
+def evaluation_to_dict(evaluation: NetworkEvaluation) -> dict[str, Any]:
+    return {
+        "accelerator": evaluation.accelerator,
+        "network": evaluation.network,
+        "layers": [
+            {
+                "layer": layer.layer,
+                "su_name": layer.su_name,
+                "counts": asdict(layer.counts),
+                "latency": asdict(layer.latency),
+                "energy": asdict(layer.energy),
+            }
+            for layer in evaluation.layers
+        ],
+    }
+
+
+def evaluation_from_dict(data: Mapping[str, Any]) -> NetworkEvaluation:
+    layers = [
+        LayerEvaluation(
+            layer=entry["layer"],
+            su_name=entry["su_name"],
+            counts=ActivityCounts(**entry["counts"]),
+            latency=LatencyBreakdown(**entry["latency"]),
+            energy=EnergyBreakdown(**entry["energy"]),
+        )
+        for entry in data["layers"]
+    ]
+    return NetworkEvaluation(
+        accelerator=data["accelerator"],
+        network=data["network"],
+        layers=layers,
+    )
+
+
+def make_record(
+    point: EvalPoint,
+    evaluation: NetworkEvaluation | Mapping[str, Any],
+    elapsed_s: float | None = None,
+) -> dict[str, Any]:
+    """Assemble one store record for ``point``'s result."""
+    result = (
+        evaluation_to_dict(evaluation)
+        if isinstance(evaluation, NetworkEvaluation)
+        else dict(evaluation)
+    )
+    return {
+        "version": RECORD_VERSION,
+        "key": point.key(),
+        "point": point.to_dict(),
+        "fingerprint": code_fingerprint(),
+        "created_at": time.time(),
+        "elapsed_s": elapsed_s,
+        "result": result,
+    }

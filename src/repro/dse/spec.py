@@ -1,0 +1,257 @@
+"""Declarative campaign specifications for design-space exploration.
+
+A campaign is the cross product the paper's headline figures are built
+from -- accelerators x networks, plus the BitWave ablation ladder
+(dataflow / column / bit-flip variants, which double as the sparsity
+profile axis: ``+DF+SM+BF`` evaluates against the bit-flipped weight
+statistics).  Every point in the grid hashes to a stable key so results
+can be persisted, shared across processes, and resumed incrementally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.accelerators import (
+    BITWAVE_VARIANTS,
+    SOTA_ACCELERATORS,
+    build_accelerator,
+    build_bitwave_variant,
+)
+from repro.accelerators.base import Accelerator, NetworkEvaluation
+from repro.workloads.nets import NETWORKS
+
+#: Bump when the meaning of a point's fields changes (keys include it).
+SPEC_VERSION = 1
+
+#: The ablation rung equal to ``BitWave()``'s constructor defaults.
+FULL_BITWAVE_VARIANT = "+DF+SM+BF"
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def config_hash(config: Mapping[str, Any]) -> str:
+    """Stable 16-hex-char digest of a JSON-serializable config mapping.
+
+    Canonical JSON (sorted keys, tight separators) makes the digest
+    independent of dict insertion order, process, and
+    ``PYTHONHASHSEED``.
+    """
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of the model/accelerator source feeding an evaluation.
+
+    Persisted results are only valid for the code that produced them;
+    the store namespaces its files by this fingerprint so editing the
+    analytical model invalidates stale caches automatically instead of
+    silently serving results from an older model.
+    """
+    import repro.accelerators
+    import repro.core
+    import repro.model
+    import repro.sparsity
+    import repro.workloads
+
+    digest = hashlib.sha256()
+    for package in (repro.model, repro.accelerators, repro.sparsity,
+                    repro.workloads, repro.core):
+        root = Path(package.__file__).parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class EvalPoint:
+    """One (accelerator configuration, network) evaluation in a grid.
+
+    ``variant`` selects a rung of the BitWave ablation ladder
+    (:data:`repro.accelerators.BITWAVE_VARIANTS`); when ``None`` the
+    point is the fully-enabled comparison build of ``accelerator``.
+    """
+
+    accelerator: str
+    network: str
+    variant: str | None = None
+
+    def __post_init__(self) -> None:
+        # The fully-enabled ablation rung IS the SotA comparison build
+        # (BitWave's constructor defaults), so both spellings
+        # canonicalize to one point and share one store entry.
+        if self.accelerator == "BitWave" and self.variant == FULL_BITWAVE_VARIANT:
+            object.__setattr__(self, "variant", None)
+
+    def validate(self) -> None:
+        if self.network not in NETWORKS:
+            raise ValueError(
+                f"unknown network {self.network!r}; one of {NETWORKS}")
+        if self.variant is None:
+            if self.accelerator not in SOTA_ACCELERATORS:
+                raise ValueError(
+                    f"unknown accelerator {self.accelerator!r}; "
+                    f"one of {SOTA_ACCELERATORS}")
+        else:
+            if self.accelerator != "BitWave":
+                raise ValueError(
+                    f"variants are BitWave ablations; got "
+                    f"accelerator={self.accelerator!r}")
+            if self.variant not in BITWAVE_VARIANTS:
+                raise ValueError(
+                    f"unknown BitWave variant {self.variant!r}; "
+                    f"one of {BITWAVE_VARIANTS}")
+
+    @property
+    def config_label(self) -> str:
+        """Display label for the accelerator configuration axis."""
+        if self.variant is None:
+            return self.accelerator
+        return f"BitWave[{self.variant}]"
+
+    @property
+    def label(self) -> str:
+        return f"{self.config_label}/{self.network}"
+
+    def build(self) -> Accelerator:
+        self.validate()
+        if self.variant is None:
+            return build_accelerator(self.accelerator)
+        return build_bitwave_variant(self.variant)
+
+    def evaluate(self) -> NetworkEvaluation:
+        return self.build().evaluate_network(self.network)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": SPEC_VERSION,
+            "accelerator": self.accelerator,
+            "network": self.network,
+            "variant": self.variant,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EvalPoint":
+        return cls(
+            accelerator=data["accelerator"],
+            network=data["network"],
+            variant=data.get("variant"),
+        )
+
+    def key(self) -> str:
+        """Stable result-store key for this configuration."""
+        return config_hash(self.to_dict())
+
+
+def _check_subset(kind: str, values: Sequence[str],
+                  valid: Sequence[str]) -> None:
+    seen: set[str] = set()
+    for value in values:
+        if value in seen:
+            raise ValueError(f"duplicate {kind} {value!r} in campaign")
+        seen.add(value)
+        if value not in valid:
+            raise ValueError(
+                f"unknown {kind} {value!r}; one of {tuple(valid)}")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative evaluation grid.
+
+    ``accelerators`` x ``networks`` gives the Fig. 14/15/17 comparison
+    points; ``variants`` x ``networks`` adds the Fig. 13 BitWave
+    ablation points.  Either axis may be empty (but not both).
+    """
+
+    name: str
+    accelerators: tuple[str, ...] = ()
+    networks: tuple[str, ...] = ()
+    variants: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "accelerators", tuple(self.accelerators))
+        object.__setattr__(self, "networks", tuple(self.networks))
+        object.__setattr__(self, "variants", tuple(self.variants))
+
+    def validate(self) -> None:
+        if not self.name or not _NAME_RE.match(self.name):
+            raise ValueError(
+                f"campaign name {self.name!r} must match {_NAME_RE.pattern}")
+        _check_subset("network", self.networks, NETWORKS)
+        _check_subset("accelerator", self.accelerators, SOTA_ACCELERATORS)
+        _check_subset("variant", self.variants, BITWAVE_VARIANTS)
+        if not self.networks:
+            raise ValueError("campaign needs at least one network")
+        if not self.accelerators and not self.variants:
+            raise ValueError(
+                "campaign needs at least one accelerator or variant")
+
+    def points(self) -> list[EvalPoint]:
+        """Expand the grid, deduplicated, grouped by network.
+
+        Grouping by network keeps the expensive per-network sparsity
+        profiling local to a worker when the executor chunks the list.
+        """
+        self.validate()
+        points: list[EvalPoint] = []
+        seen: set[str] = set()
+        for network in self.networks:
+            for accelerator in self.accelerators:
+                points.append(EvalPoint(accelerator, network))
+            for variant in self.variants:
+                points.append(EvalPoint("BitWave", network, variant=variant))
+        unique = []
+        for point in points:
+            key = point.key()
+            if key not in seen:
+                seen.add(key)
+                unique.append(point)
+        return unique
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": SPEC_VERSION,
+            "name": self.name,
+            "accelerators": list(self.accelerators),
+            "networks": list(self.networks),
+            "variants": list(self.variants),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        return cls(
+            name=data["name"],
+            accelerators=tuple(data.get("accelerators", ())),
+            networks=tuple(data.get("networks", ())),
+            variants=tuple(data.get("variants", ())),
+        )
+
+    def to_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "CampaignSpec":
+        spec = cls.from_dict(json.loads(Path(path).read_text()))
+        spec.validate()
+        return spec
+
+
+def paper_grid(name: str = "paper-grid") -> CampaignSpec:
+    """The full headline grid: all SotA accelerators, all networks, and
+    the complete BitWave ablation ladder (Figs. 13-17)."""
+    return CampaignSpec(
+        name=name,
+        accelerators=SOTA_ACCELERATORS,
+        networks=NETWORKS,
+        variants=BITWAVE_VARIANTS,
+    )

@@ -1,0 +1,137 @@
+"""Persistent on-disk result store (append-only JSONL).
+
+Layout: ``<root>/<code-fingerprint>/results.jsonl`` -- one JSON record
+per line, keyed by the evaluation point's config hash.  Namespacing by
+:func:`repro.dse.spec.code_fingerprint` means editing the analytical
+model silently starts a fresh namespace instead of serving stale
+results, while re-runs under unchanged code are fully incremental.
+
+Duplicate keys are legal (``--force`` re-evaluations append); the last
+record wins on load.  A torn trailing line from an interrupted write is
+skipped, so a crashed campaign resumes cleanly.  The intended write
+discipline is single-writer: the campaign parent process appends while
+pool workers only compute.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.accelerators.base import NetworkEvaluation
+from repro.dse.records import RECORD_VERSION, evaluation_from_dict
+from repro.dse.spec import code_fingerprint
+
+#: Environment variable overriding the default store root.
+DEFAULT_ROOT_ENV = "REPRO_DSE_STORE"
+
+
+def default_store_root() -> Path:
+    """``$REPRO_DSE_STORE`` or ``~/.cache/repro-dse``."""
+    override = os.environ.get(DEFAULT_ROOT_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro-dse"
+
+
+class ResultStore:
+    """Keyed persistent storage for evaluation records."""
+
+    def __init__(self, root: str | Path | None = None,
+                 namespace: str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_store_root()
+        self.namespace = namespace or code_fingerprint()
+        self.path = self.root / self.namespace / "results.jsonl"
+        self._records: dict[str, dict[str, Any]] = {}
+        self._loaded = False
+
+    # -- loading ---------------------------------------------------------
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from an interrupted campaign
+                key = record.get("key")
+                if key:
+                    self._records[key] = record
+
+    def refresh(self) -> None:
+        """Re-read the backing file (e.g. after another process wrote)."""
+        self._records.clear()
+        self._loaded = False
+        self._load()
+
+    # -- mapping protocol ------------------------------------------------
+    def get(self, key: str) -> dict[str, Any] | None:
+        self._load()
+        return self._records.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        self._load()
+        return key in self._records
+
+    def __len__(self) -> int:
+        self._load()
+        return len(self._records)
+
+    def keys(self) -> Iterator[str]:
+        self._load()
+        return iter(tuple(self._records))
+
+    # -- writing ---------------------------------------------------------
+    def put(self, key: str, record: Mapping[str, Any]) -> None:
+        """Append one record and update the in-memory index.
+
+        The line goes out as a single ``write()`` to an ``O_APPEND``
+        descriptor, which local filesystems keep contiguous even if
+        another process appends concurrently -- a stray second writer
+        degrades to a duplicate/last-wins record instead of torn JSON.
+        """
+        self._load()
+        record = {**record, "key": key}
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+        self._records[key] = record
+
+    def compact(self) -> int:
+        """Rewrite the file without superseded duplicates; returns the
+        number of live records."""
+        self._load()
+        if self._records:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(".jsonl.tmp")
+            with tmp.open("w", encoding="utf-8") as handle:
+                for record in self._records.values():
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            tmp.replace(self.path)
+        return len(self._records)
+
+    # -- convenience -----------------------------------------------------
+    def evaluation(self, key: str) -> NetworkEvaluation | None:
+        """Deserialize the stored result for ``key``, if present.
+
+        Records from an older layout (``version`` mismatch) count as
+        misses, so a record-format change re-evaluates instead of
+        feeding a stale dict to the deserializer.
+        """
+        record = self.get(key)
+        if record is None or record.get("version") != RECORD_VERSION:
+            return None
+        return evaluation_from_dict(record["result"])

@@ -1,0 +1,102 @@
+"""Campaign summarization: metric tables and Pareto-front extraction."""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple
+
+from repro.accelerators.base import NetworkEvaluation
+from repro.core.pareto import pareto_front
+from repro.dse.spec import CampaignSpec, EvalPoint
+from repro.dse.store import ResultStore
+from repro.utils.tables import format_table
+
+
+class Metric(NamedTuple):
+    extract: Callable[[NetworkEvaluation], float]
+    maximize: bool
+    header: str
+
+
+#: Named metrics usable as summary columns and Pareto objectives.
+METRICS: dict[str, Metric] = {
+    "cycles": Metric(lambda ev: ev.total_cycles, False, "cycles"),
+    "energy": Metric(lambda ev: ev.total_energy_pj, False, "energy (pJ)"),
+    "runtime": Metric(lambda ev: ev.runtime_s, False, "runtime (s)"),
+    "macs": Metric(lambda ev: float(ev.total_macs), True, "MACs"),
+    "tops": Metric(lambda ev: ev.effective_tops, True, "eff. TOPS"),
+    "tops_per_w": Metric(
+        lambda ev: ev.efficiency_tops_per_w, True, "TOPS/W"),
+}
+
+_TABLE_COLUMNS = ("cycles", "energy", "runtime", "tops", "tops_per_w")
+
+
+def resolve_metric(name: str) -> Metric:
+    if name not in METRICS:
+        raise ValueError(
+            f"unknown metric {name!r}; one of {tuple(METRICS)}")
+    return METRICS[name]
+
+
+def summary_table(spec: CampaignSpec, store: ResultStore) -> str:
+    """Per-point metric table; points not yet in the store show ``-``."""
+    rows = []
+    for point in spec.points():
+        evaluation = store.evaluation(point.key())
+        if evaluation is None:
+            cells = ["-"] * len(_TABLE_COLUMNS) + ["missing"]
+        else:
+            cells = [METRICS[name].extract(evaluation)
+                     for name in _TABLE_COLUMNS] + ["yes"]
+        rows.append([point.config_label, point.network, *cells])
+    return format_table(
+        ["config", "network",
+         *(METRICS[name].header for name in _TABLE_COLUMNS), "stored"],
+        rows,
+        title=f"Campaign {spec.name} -- {len(rows)} points",
+    )
+
+
+def campaign_pareto(
+    spec: CampaignSpec,
+    store: ResultStore,
+    x: str = "cycles",
+    y: str = "energy",
+) -> list[tuple[float, float, EvalPoint]]:
+    """Non-dominated points of the campaign under two named metrics.
+
+    Each objective's sense comes from the metric registry (cycles and
+    energy minimize; TOPS/W maximizes).  Points missing from the store
+    are skipped.
+    """
+    mx, my = resolve_metric(x), resolve_metric(y)
+    points = []
+    for point in spec.points():
+        evaluation = store.evaluation(point.key())
+        if evaluation is None:
+            continue
+        points.append(
+            (mx.extract(evaluation), my.extract(evaluation), point))
+    return pareto_front(points, maximize=(mx.maximize, my.maximize))
+
+
+def pareto_table(
+    spec: CampaignSpec,
+    store: ResultStore,
+    x: str = "cycles",
+    y: str = "energy",
+) -> str:
+    mx, my = resolve_metric(x), resolve_metric(y)
+    front = campaign_pareto(spec, store, x, y)
+    rows = [
+        [point.config_label, point.network, vx, vy]
+        for vx, vy, point in front
+    ]
+    sense = tuple("max" if m.maximize else "min" for m in (mx, my))
+    return format_table(
+        ["config", "network", f"{mx.header} ({sense[0]})",
+         f"{my.header} ({sense[1]})"],
+        rows,
+        title=(f"Campaign {spec.name} -- Pareto front over "
+               f"({x}, {y}), {len(rows)} of {len(spec.points())} points"),
+    )

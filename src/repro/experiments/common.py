@@ -1,48 +1,127 @@
-"""Shared, cached accelerator evaluations for the experiment harnesses.
+"""Shared accelerator evaluations for the experiment harnesses.
 
 The Fig. 13-17 harnesses all consume the same 6 accelerators x 4
-networks evaluation grid; computing it once per process keeps the
-benchmark suite affordable.
+networks evaluation grid (plus the Fig. 13 BitWave ablation ladder).
+Grids are sourced from the :mod:`repro.dse` engine: every evaluation
+round-trips the persistent result store, so repeated harness runs --
+including across processes -- are incremental, and ``--jobs N`` can
+pre-warm the grid on a process pool.  A per-process memo on top keeps
+object identity and avoids repeated deserialization.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
-from repro.accelerators import SOTA_ACCELERATORS, build_accelerator
+from repro.accelerators import BITWAVE_VARIANTS, SOTA_ACCELERATORS
 from repro.accelerators.base import NetworkEvaluation
-from repro.accelerators.bitwave import BitWave
+from repro.dse.executor import CampaignRun, evaluate_point, run_campaign
+from repro.dse.records import make_record
+from repro.dse.spec import CampaignSpec, EvalPoint
+from repro.dse.store import ResultStore
 from repro.workloads.nets import NETWORKS
 
 #: The Fig. 13 ablation ladder, in presentation order.
-BREAKDOWN_VARIANTS = ("Dense", "+DF", "+DF+SM", "+DF+SM+BF")
+BREAKDOWN_VARIANTS = BITWAVE_VARIANTS
+
+#: Per-process memo (config-hash key -> evaluation).
+_MEMO: dict[str, NetworkEvaluation] = {}
+_STORE: ResultStore | None = None
+_STORE_BROKEN = False
 
 
-@lru_cache(maxsize=None)
+def default_store() -> ResultStore | None:
+    """The process-wide result store, or ``None`` if it is unusable
+    (e.g. a read-only filesystem -- evaluation then simply skips
+    persistence)."""
+    global _STORE, _STORE_BROKEN
+    if _STORE_BROKEN:
+        return None
+    if _STORE is None:
+        _STORE = ResultStore()
+    return _STORE
+
+
+def reset_cache() -> None:
+    """Drop the per-process memo and store handle (used by tests)."""
+    global _STORE, _STORE_BROKEN
+    _MEMO.clear()
+    _STORE = None
+    _STORE_BROKEN = False
+
+
+def cached_evaluation(point: EvalPoint) -> NetworkEvaluation:
+    """Evaluate ``point`` through memo -> store -> compute."""
+    global _STORE_BROKEN
+    key = point.key()
+    if key in _MEMO:
+        return _MEMO[key]
+    store = default_store()
+    evaluation = store.evaluation(key) if store is not None else None
+    if evaluation is None:
+        evaluation = evaluate_point(point)
+        if store is not None:
+            try:
+                store.put(key, make_record(point, evaluation))
+            except OSError:
+                _STORE_BROKEN = True
+    _MEMO[key] = evaluation
+    return evaluation
+
+
 def sota_evaluation(accelerator: str, network: str) -> NetworkEvaluation:
-    return build_accelerator(accelerator).evaluate_network(network)
+    return cached_evaluation(EvalPoint(accelerator, network))
 
 
-@lru_cache(maxsize=None)
-def _breakdown_accelerator(variant: str) -> BitWave:
-    configs = {
-        "Dense": ("fixed", "dense", False),
-        "+DF": ("dynamic", "dense", False),
-        "+DF+SM": ("dynamic", "sm", False),
-        "+DF+SM+BF": ("dynamic", "sm", True),
-    }
-    dataflow, columns, bitflip = configs[variant]
-    return BitWave(dataflow, columns, bitflip)
-
-
-@lru_cache(maxsize=None)
 def breakdown_evaluation(variant: str, network: str) -> NetworkEvaluation:
-    return _breakdown_accelerator(variant).evaluate_network(network)
+    return cached_evaluation(EvalPoint("BitWave", network, variant=variant))
+
+
+def prewarm_grids(
+    networks: tuple[str, ...] = NETWORKS,
+    jobs: int = 1,
+    progress=None,
+) -> CampaignRun | None:
+    """Populate store + memo for the full Fig. 13-17 grids, optionally
+    in parallel.  Returns ``None`` when no store is available (parallel
+    results could not be handed back to this process's memo cheaply, so
+    the harnesses would recompute serially anyway)."""
+    store = default_store()
+    if store is None:
+        return None
+    spec = CampaignSpec(
+        name="experiments-grid",
+        accelerators=SOTA_ACCELERATORS,
+        networks=networks,
+        variants=BREAKDOWN_VARIANTS,
+    )
+    run = run_campaign(spec, store, jobs=jobs, progress=progress)
+    _MEMO.update(run.results)
+    return run
+
+
+def sota_grid(
+    networks: tuple[str, ...] = NETWORKS,
+    accelerators: tuple[str, ...] | None = None,
+) -> dict[tuple[str, str], NetworkEvaluation]:
+    """``(accelerator, network) -> evaluation`` for a sub-grid."""
+    accelerators = SOTA_ACCELERATORS if accelerators is None else accelerators
+    return {
+        (acc, net): sota_evaluation(acc, net)
+        for net in networks
+        for acc in accelerators
+    }
+
+
+def breakdown_grid(
+    networks: tuple[str, ...] = NETWORKS,
+    variants: tuple[str, ...] = BREAKDOWN_VARIANTS,
+) -> dict[tuple[str, str], NetworkEvaluation]:
+    """``(variant, network) -> evaluation`` for the ablation ladder."""
+    return {
+        (variant, net): breakdown_evaluation(variant, net)
+        for net in networks
+        for variant in variants
+    }
 
 
 def all_sota_evaluations() -> dict[tuple[str, str], NetworkEvaluation]:
-    return {
-        (acc, net): sota_evaluation(acc, net)
-        for acc in SOTA_ACCELERATORS
-        for net in NETWORKS
-    }
+    return sota_grid()

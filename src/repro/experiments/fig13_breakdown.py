@@ -7,18 +7,19 @@ Bert-Base; Bit-Flip then unlocks a further ~2.7x on Bert-Base.
 
 from __future__ import annotations
 
-from repro.experiments.common import BREAKDOWN_VARIANTS, breakdown_evaluation
+from repro.experiments.common import BREAKDOWN_VARIANTS, breakdown_grid
 from repro.utils.tables import format_table
 from repro.workloads.nets import NETWORKS
 
 
 def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
     """``network -> {variant: speedup over Dense}``."""
+    grid = breakdown_grid(networks)
     results: dict[str, dict[str, float]] = {}
     for net in networks:
-        dense = breakdown_evaluation("Dense", net).total_cycles
+        dense = grid[("Dense", net)].total_cycles
         results[net] = {
-            variant: dense / breakdown_evaluation(variant, net).total_cycles
+            variant: dense / grid[(variant, net)].total_cycles
             for variant in BREAKDOWN_VARIANTS
         }
     return results

@@ -7,18 +7,19 @@ SCNN on CNN-LSTM / Bert-Base; >2x vs Bitlet.
 from __future__ import annotations
 
 from repro.accelerators import SOTA_ACCELERATORS
-from repro.experiments.common import sota_evaluation
+from repro.experiments.common import sota_grid
 from repro.utils.tables import format_table
 from repro.workloads.nets import NETWORKS
 
 
 def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
     """``network -> {accelerator: speedup vs SCNN}``."""
+    grid = sota_grid(networks)
     results: dict[str, dict[str, float]] = {}
     for net in networks:
-        scnn = sota_evaluation("SCNN", net).total_cycles
+        scnn = grid[("SCNN", net)].total_cycles
         results[net] = {
-            acc: scnn / sota_evaluation(acc, net).total_cycles
+            acc: scnn / grid[(acc, net)].total_cycles
             for acc in SOTA_ACCELERATORS
         }
     return results

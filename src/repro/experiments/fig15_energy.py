@@ -8,18 +8,19 @@ dataflow designs pay 4-5x on MobileNetV2.
 from __future__ import annotations
 
 from repro.accelerators import SOTA_ACCELERATORS
-from repro.experiments.common import sota_evaluation
+from repro.experiments.common import sota_grid
 from repro.utils.tables import format_table
 from repro.workloads.nets import NETWORKS
 
 
 def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
     """``network -> {accelerator: energy normalized to BitWave}``."""
+    grid = sota_grid(networks)
     results: dict[str, dict[str, float]] = {}
     for net in networks:
-        bitwave = sota_evaluation("BitWave", net).total_energy_pj
+        bitwave = grid[("BitWave", net)].total_energy_pj
         results[net] = {
-            acc: sota_evaluation(acc, net).total_energy_pj / bitwave
+            acc: grid[(acc, net)].total_energy_pj / bitwave
             for acc in SOTA_ACCELERATORS
         }
     return results

@@ -6,7 +6,7 @@ networks where all weights must be loaded on chip at least once.
 
 from __future__ import annotations
 
-from repro.experiments.common import sota_evaluation
+from repro.experiments.common import sota_grid
 from repro.utils.tables import format_table
 from repro.workloads.nets import NETWORKS
 
@@ -15,8 +15,9 @@ COMPONENTS = ("dram", "sram", "reg", "compute")
 
 def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
     """``network -> component energy shares`` for BitWave."""
+    grid = sota_grid(networks, accelerators=("BitWave",))
     return {
-        net: sota_evaluation("BitWave", net).energy_shares()
+        net: grid[("BitWave", net)].energy_shares()
         for net in networks
     }
 

@@ -7,18 +7,19 @@ SCNN and 2.04x HUAA on Bert-Base.
 from __future__ import annotations
 
 from repro.accelerators import SOTA_ACCELERATORS
-from repro.experiments.common import sota_evaluation
+from repro.experiments.common import sota_grid
 from repro.utils.tables import format_table
 from repro.workloads.nets import NETWORKS
 
 
 def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
     """``network -> {accelerator: efficiency vs SCNN}``."""
+    grid = sota_grid(networks)
     results: dict[str, dict[str, float]] = {}
     for net in networks:
-        scnn = sota_evaluation("SCNN", net).efficiency_tops_per_w
+        scnn = grid[("SCNN", net)].efficiency_tops_per_w
         results[net] = {
-            acc: sota_evaluation(acc, net).efficiency_tops_per_w / scnn
+            acc: grid[(acc, net)].efficiency_tops_per_w / scnn
             for acc in SOTA_ACCELERATORS
         }
     return results

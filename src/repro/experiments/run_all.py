@@ -1,18 +1,23 @@
 """Run every experiment harness and print all tables in paper order.
 
-Usage: python -m repro.experiments.run_all [--fast]
+Usage: python -m repro.experiments.run_all [--fast] [--jobs N]
 
 ``--fast`` skips the inference-based Fig. 6 harnesses (the slowest
 part; everything else completes in about a minute after the sparsity
-profiles are cached).
+profiles are cached).  ``--jobs N`` pre-warms the Fig. 13-17 / Tab. 3
+evaluation grids through the DSE pool executor before the harnesses
+run; results persist in the DSE result store, so repeated invocations
+are incremental.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
+from typing import Sequence
 
 from repro.experiments import (
     ablations,
+    common,
     fig01_sparsity,
     fig04_bcs_2c_vs_sm,
     fig05_compression,
@@ -28,6 +33,7 @@ from repro.experiments import (
     tab4_pe_types,
     validation_sim_vs_model,
 )
+from repro.utils.progress import ProgressPrinter
 
 FAST_MODULES = (
     fig12_workloads,
@@ -47,7 +53,24 @@ FAST_MODULES = (
 )
 
 
-def main(fast: bool = False) -> None:
+def parse_args(argv: Sequence[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.run_all",
+        description="run every experiment harness in paper order",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="skip the inference-based Fig. 6 harnesses")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="pre-warm the evaluation grids on N worker processes "
+             "through the DSE executor (0 = all CPUs; default 1)")
+    return parser.parse_args(argv)
+
+
+def main(fast: bool = False, jobs: int = 1) -> None:
+    if jobs != 1:
+        common.prewarm_grids(jobs=jobs, progress=ProgressPrinter())
     for module in FAST_MODULES:
         module.main()
         print()
@@ -62,4 +85,5 @@ def main(fast: bool = False) -> None:
 
 
 if __name__ == "__main__":
-    main(fast="--fast" in sys.argv[1:])
+    args = parse_args()
+    main(fast=args.fast, jobs=args.jobs)

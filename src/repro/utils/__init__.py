@@ -1,7 +1,9 @@
 """Shared utilities: bit twiddling, RNG management, report formatting."""
 
 from repro.utils.bits import pack_bits, popcount8, unpack_bits
+from repro.utils.progress import ProgressPrinter
 from repro.utils.rng import seeded_rng
 from repro.utils.tables import format_table
 
-__all__ = ["format_table", "pack_bits", "popcount8", "seeded_rng", "unpack_bits"]
+__all__ = ["ProgressPrinter", "format_table", "pack_bits", "popcount8",
+           "seeded_rng", "unpack_bits"]

@@ -1,0 +1,37 @@
+"""Progress reporting for long evaluation campaigns.
+
+The DSE executor accepts any callable with the signature
+``progress(done, total, label, *, cached, elapsed_s)``;
+:class:`ProgressPrinter` is the stock implementation used by the
+``python -m repro.dse`` CLI (one diff-friendly line per event).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+
+class ProgressPrinter:
+    """Print one ``[done/total]`` line per completed evaluation point."""
+
+    def __init__(self, stream: TextIO | None = None, enabled: bool = True):
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+
+    def __call__(
+        self,
+        done: int,
+        total: int,
+        label: str,
+        *,
+        cached: bool = False,
+        elapsed_s: float | None = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        width = len(str(total))
+        source = "cached" if cached else (
+            f"{elapsed_s:.2f}s" if elapsed_s is not None else "done")
+        print(f"[{done:{width}d}/{total}] {label} ({source})",
+              file=self.stream, flush=True)

@@ -1,0 +1,75 @@
+"""Edge cases of ``pareto_front``: duplicates, ties, empty input, and
+the minimization senses the DSE engine uses."""
+
+from repro.core.pareto import pareto_front
+
+
+class TestEdgeCases:
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+    def test_duplicate_cr_keeps_only_best_accuracy(self):
+        points = [(2.0, 0.90, "worse"), (2.0, 0.95, "better")]
+        assert pareto_front(points) == [(2.0, 0.95, "better")]
+
+    def test_duplicate_cr_among_tradeoffs(self):
+        points = [(1.0, 0.99, "a"), (2.0, 0.90, "b"),
+                  (2.0, 0.95, "c"), (3.0, 0.80, "d")]
+        front = pareto_front(points)
+        assert [p[2] for p in front] == ["a", "c", "d"]
+
+    def test_tie_in_both_objectives_single_survivor(self):
+        points = [(1.0, 0.9, "a"), (1.0, 0.9, "b"), (1.0, 0.9, "c")]
+        front = pareto_front(points)
+        assert len(front) == 1
+        assert front[0][:2] == (1.0, 0.9)
+
+    def test_all_points_identical(self):
+        assert len(pareto_front([(5.0, 5.0, i) for i in range(10)])) == 1
+
+    def test_tie_on_second_objective_keeps_higher_cr(self):
+        points = [(1.0, 0.9, "low"), (2.0, 0.9, "high")]
+        assert pareto_front(points) == [(2.0, 0.9, "high")]
+
+    def test_payload_preserved(self):
+        payload = {"config": "BitWave"}
+        front = pareto_front([(1.0, 1.0, payload)])
+        assert front[0][2] is payload
+
+    def test_single_point(self):
+        assert pareto_front([(0.0, 0.0, None)]) == [(0.0, 0.0, None)]
+
+
+class TestSenses:
+    def test_min_min_front(self):
+        # Cycles-vs-energy: smaller is better in both.
+        points = [(1.0, 1.0, "best"), (2.0, 2.0, "dominated"),
+                  (0.5, 3.0, "fast-hot"), (3.0, 0.5, "slow-cool")]
+        front = pareto_front(points, maximize=(False, False))
+        assert {p[2] for p in front} == {"best", "fast-hot", "slow-cool"}
+
+    def test_min_min_sorted_descending_first_objective(self):
+        points = [(1.0, 1.0, "a"), (0.5, 3.0, "b"), (3.0, 0.5, "c")]
+        front = pareto_front(points, maximize=(False, False))
+        firsts = [p[0] for p in front]
+        assert firsts == sorted(firsts, reverse=True)
+
+    def test_mixed_senses(self):
+        # Minimize cycles, maximize TOPS/W.
+        points = [(100.0, 10.0, "slow-efficient"),
+                  (10.0, 5.0, "fast-ok"),
+                  (100.0, 5.0, "dominated"),
+                  (10.0, 10.0, "dominates-all")]
+        front = pareto_front(points, maximize=(False, True))
+        assert [p[2] for p in front] == ["dominates-all"]
+
+    def test_default_matches_explicit_max_max(self):
+        points = [(1.0, 0.95, "a"), (2.0, 0.90, "b"), (1.5, 0.99, "c")]
+        assert pareto_front(points) == pareto_front(
+            points, maximize=(True, True))
+
+    def test_min_min_duplicates(self):
+        points = [(2.0, 2.0, "x"), (2.0, 2.0, "y"), (2.0, 1.0, "z")]
+        front = pareto_front(points, maximize=(False, False))
+        assert len(front) == 1
+        assert front[0][2] == "z"

@@ -1,0 +1,144 @@
+"""The ``python -m repro.dse`` CLI, the run_all argparse migration, and
+the store-backed ``experiments.common`` helpers."""
+
+import json
+
+import pytest
+
+from repro.accelerators.bitwave import BitWave
+from repro.dse.__main__ import main as dse_main
+from repro.dse.spec import CampaignSpec
+from repro.experiments import common
+from repro.experiments.run_all import parse_args
+
+
+@pytest.fixture
+def isolated_store(tmp_path, monkeypatch):
+    """Route the default store (env-derived) into a tmp dir."""
+    monkeypatch.setenv("REPRO_DSE_STORE", str(tmp_path))
+    common.reset_cache()
+    yield tmp_path
+    common.reset_cache()
+
+
+SMOKE = ["--name", "smoke", "--accelerators", "Stripes",
+         "--networks", "cnn_lstm"]
+
+
+class TestCli:
+    def test_run_then_resume(self, isolated_store, capsys):
+        assert dse_main(["run", *SMOKE, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "cached=0 evaluated=1" in out
+        assert "Stripes" in out
+
+        assert dse_main(["run", *SMOKE, "--quiet"]) == 0
+        assert "cached=1 evaluated=0" in capsys.readouterr().out
+
+    def test_explicit_store_flag(self, tmp_path, capsys):
+        store_dir = tmp_path / "explicit"
+        assert dse_main(
+            ["run", *SMOKE, "--quiet", "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        assert any(store_dir.rglob("results.jsonl"))
+
+    def test_points_reports_cache_status(self, isolated_store, capsys):
+        dse_main(["run", *SMOKE, "--quiet"])
+        capsys.readouterr()
+        assert dse_main(["points", *SMOKE]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        assert "cached" in lines[0] and "Stripes/cnn_lstm" in lines[0]
+
+    def test_summary_marks_missing(self, isolated_store, capsys):
+        assert dse_main(["summary", *SMOKE]) == 0
+        assert "missing" in capsys.readouterr().out
+
+    def test_pareto(self, isolated_store, capsys):
+        dse_main(["run", *SMOKE, "--quiet"])
+        capsys.readouterr()
+        assert dse_main(
+            ["pareto", *SMOKE, "--x", "cycles", "--y", "tops_per_w"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front" in out and "Stripes" in out
+
+    def test_init_writes_loadable_spec(self, tmp_path, capsys):
+        out_file = tmp_path / "campaign.json"
+        assert dse_main(["init", "--out", str(out_file),
+                         "--name", "full"]) == 0
+        spec = CampaignSpec.from_json(out_file)
+        assert spec.name == "full"
+        # 6 accelerators x 4 networks + 3 non-canonical variants x 4.
+        assert len(spec.points()) == 36
+
+    def test_spec_file_roundtrip(self, isolated_store, tmp_path, capsys):
+        out_file = tmp_path / "c.json"
+        out_file.write_text(json.dumps({
+            "name": "fromfile", "accelerators": ["Stripes"],
+            "networks": ["cnn_lstm"], "variants": []}))
+        assert dse_main(["run", "--spec", str(out_file), "--quiet"]) == 0
+        assert "fromfile" in capsys.readouterr().out
+
+    def test_invalid_grid_is_an_error(self, isolated_store, capsys):
+        code = dse_main(["run", "--name", "bad",
+                         "--accelerators", "TPU",
+                         "--networks", "cnn_lstm", "--quiet"])
+        assert code == 2
+        assert "unknown accelerator" in capsys.readouterr().err
+
+
+class TestRunAllArgs:
+    def test_defaults(self):
+        args = parse_args([])
+        assert args.fast is False and args.jobs == 1
+
+    def test_fast_and_jobs(self):
+        args = parse_args(["--fast", "--jobs", "4"])
+        assert args.fast is True and args.jobs == 4
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(SystemExit):
+            parse_args(["--warp-speed"])
+
+
+class TestCommonMigration:
+    """The lru_cache helpers now ride the persistent store with the
+    same public call signatures."""
+
+    def test_sota_evaluation_persists_and_reloads(self, isolated_store):
+        first = common.sota_evaluation("Stripes", "cnn_lstm")
+        # Same process: memoized identity.
+        assert common.sota_evaluation("Stripes", "cnn_lstm") is first
+        assert any(isolated_store.rglob("results.jsonl"))
+
+        common.reset_cache()  # simulate a fresh process
+        reloaded = common.sota_evaluation("Stripes", "cnn_lstm")
+        assert reloaded is not first
+        assert reloaded == first
+
+    def test_breakdown_evaluation_matches_direct_build(self, isolated_store):
+        via_store = common.breakdown_evaluation("+DF", "cnn_lstm")
+        direct = BitWave("dynamic", "dense", False).evaluate_network(
+            "cnn_lstm")
+        assert via_store == direct
+
+    def test_grids_share_the_store(self, isolated_store):
+        grid = common.sota_grid(("cnn_lstm",), accelerators=("Stripes",))
+        assert grid[("Stripes", "cnn_lstm")] \
+            is common.sota_evaluation("Stripes", "cnn_lstm")
+
+    def test_all_sota_signature_preserved(self):
+        assert callable(common.all_sota_evaluations)
+        assert common.BREAKDOWN_VARIANTS == (
+            "Dense", "+DF", "+DF+SM", "+DF+SM+BF")
+
+    def test_prewarm_populates_memo(self, isolated_store):
+        run = common.prewarm_grids(networks=("cnn_lstm",), jobs=1)
+        assert run is not None
+        # The fully-enabled variant shares the SotA BitWave point.
+        assert run.total == len(common.SOTA_ACCELERATORS) \
+            + len(common.BREAKDOWN_VARIANTS) - 1
+        # Harness calls after prewarm are pure memo hits.
+        assert common.sota_evaluation("BitWave", "cnn_lstm") \
+            is run.results[[p for p in run.points
+                            if p.label == "BitWave/cnn_lstm"][0].key()]

@@ -1,0 +1,139 @@
+"""Executor semantics: caching, resume, and parallel/serial equivalence.
+
+The acceptance grid (2 accelerators x 2 networks) runs through the
+real ``multiprocessing`` pool; the cheaper single-network campaigns
+cover the serial path, force mode, and progress reporting.
+"""
+
+import pytest
+
+from repro.dse.executor import resolve_jobs, run_campaign
+from repro.dse.spec import CampaignSpec
+from repro.dse.store import ResultStore
+
+
+def _spec(**overrides) -> CampaignSpec:
+    base = dict(name="exec-test", accelerators=("SCNN", "Stripes"),
+                networks=("cnn_lstm",))
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestSerialExecution:
+    def test_first_run_evaluates_and_persists(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run = run_campaign(_spec(), store)
+        assert (run.total, run.cached, run.evaluated) == (2, 0, 2)
+        assert store.path.exists()
+        assert len(store) == 2
+        for point in run.points:
+            assert run.result_for(point).total_cycles > 0
+
+    def test_second_run_fully_cached(self, tmp_path):
+        run_campaign(_spec(), ResultStore(tmp_path))
+        # Fresh store instance: nothing carried over in memory.
+        resumed = run_campaign(_spec(), ResultStore(tmp_path))
+        assert (resumed.cached, resumed.evaluated) == (2, 0)
+
+    def test_partial_resume(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_campaign(_spec(accelerators=("SCNN",)), store)
+        grown = run_campaign(_spec(), ResultStore(tmp_path))
+        assert (grown.cached, grown.evaluated) == (1, 1)
+
+    def test_force_reevaluates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_campaign(_spec(), store)
+        forced = run_campaign(_spec(), store, force=True)
+        assert (forced.cached, forced.evaluated) == (0, 2)
+        assert len(store) == 2  # duplicates superseded, not re-keyed
+
+    def test_cached_equals_computed(self, tmp_path):
+        first = run_campaign(_spec(), ResultStore(tmp_path))
+        resumed = run_campaign(_spec(), ResultStore(tmp_path))
+        for key, evaluation in first.results.items():
+            assert resumed.results[key] == evaluation
+
+    def test_progress_events(self, tmp_path):
+        events = []
+
+        def progress(done, total, label, *, cached, elapsed_s):
+            events.append((done, total, label, cached))
+
+        run_campaign(_spec(), ResultStore(tmp_path), progress=progress)
+        assert [e[0] for e in events] == [1, 2]
+        assert all(e[1] == 2 and not e[3] for e in events)
+        events.clear()
+        run_campaign(_spec(), ResultStore(tmp_path), progress=progress)
+        assert all(e[3] for e in events)
+
+    def test_grid_keys(self, tmp_path):
+        spec = _spec(variants=("Dense",))
+        run = run_campaign(spec, ResultStore(tmp_path))
+        grid = run.grid()
+        assert ("SCNN", "cnn_lstm") in grid
+        assert ("BitWave[Dense]", "cnn_lstm") in grid
+
+    def test_unwritable_store_degrades_to_no_persistence(self, tmp_path):
+        store = ResultStore(tmp_path)
+        # Make the namespace dir a file so mkdir/open fail with OSError.
+        store.path.parent.parent.mkdir(parents=True, exist_ok=True)
+        store.path.parent.touch()
+        run = run_campaign(_spec(accelerators=("Stripes",)), store)
+        assert run.evaluated == 1
+        assert run.persist_failures == 1
+        assert "not persisted" in run.summary_line
+        assert run.results  # the evaluation itself still came back
+
+
+class TestParallelExecution:
+    """The ISSUE acceptance grid: >= 2 accelerators x 2 networks
+    through the pool executor, persisted, then resumed with zero
+    re-evaluations."""
+
+    @pytest.fixture(scope="class")
+    def acceptance_spec(self):
+        return CampaignSpec(
+            name="acceptance",
+            accelerators=("SCNN", "Stripes"),
+            networks=("cnn_lstm", "mobilenetv2"),
+        )
+
+    def test_pool_run_persists_and_resumes_from_cache(
+            self, acceptance_spec, tmp_path_factory):
+        root = tmp_path_factory.mktemp("acceptance")
+        first = run_campaign(
+            acceptance_spec, ResultStore(root), jobs=2)
+        assert (first.total, first.cached, first.evaluated) == (4, 0, 4)
+        assert ResultStore(root).path.exists()
+
+        resumed = run_campaign(
+            acceptance_spec, ResultStore(root), jobs=2)
+        assert resumed.evaluated == 0, "resume must not re-evaluate"
+        assert resumed.cached == 4
+
+        serial = run_campaign(
+            acceptance_spec, ResultStore(tmp_path_factory.mktemp("serial")),
+            jobs=1)
+        assert serial.evaluated == 4
+        for key, evaluation in serial.results.items():
+            parallel_ev = first.results[key]
+            assert parallel_ev == evaluation, \
+                "parallel and serial evaluations must be identical"
+
+    def test_explicit_chunksize(self, acceptance_spec, tmp_path):
+        run = run_campaign(
+            acceptance_spec, ResultStore(tmp_path), jobs=2, chunksize=2)
+        assert run.evaluated == 4
+
+
+class TestResolveJobs:
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(-1)

@@ -1,0 +1,263 @@
+"""Campaign specs, config hashing, and the persistent result store."""
+
+import json
+
+import pytest
+
+from repro.accelerators import BITWAVE_VARIANTS, SOTA_ACCELERATORS
+from repro.accelerators.base import LayerEvaluation, NetworkEvaluation
+from repro.dse.records import (
+    evaluation_from_dict,
+    evaluation_to_dict,
+    make_record,
+)
+from repro.dse.spec import (
+    CampaignSpec,
+    EvalPoint,
+    code_fingerprint,
+    config_hash,
+    paper_grid,
+)
+from repro.dse.store import ResultStore
+from repro.model.energy import EnergyBreakdown
+from repro.model.latency import LatencyBreakdown
+from repro.model.zigzag import ActivityCounts
+from repro.workloads.nets import NETWORKS
+
+
+def _synthetic_evaluation() -> NetworkEvaluation:
+    """A hand-built evaluation with repr-awkward floats (no profiling)."""
+    counts = ActivityCounts(
+        n_mac=12345, macs_per_cycle=1024.0, utilization=0.1 + 0.2,
+        dram_read_weight=1e7 / 3.0, dram_read_act=7.25, dram_write_act=0.1,
+        sram_read_weight=2.0 ** 0.5, sram_read_input=3.0, sram_write_output=4.0,
+        reg_read=5.5, reg_write=6.5)
+    latency = LatencyBreakdown(
+        dram_cycles=1.0 / 7.0, sram_write_output_cycles=2.0,
+        sram_read_input_cycles=3.0, sram_read_weight_cycles=4.0,
+        reg_read_cycles=5.0, compute_cycles=1e-9)
+    energy = EnergyBreakdown(
+        dram_pj=0.1, sram_pj=0.2, reg_pj=0.3, compute_pj=1e12 + 0.5)
+    return NetworkEvaluation(
+        accelerator="Test", network="cnn_lstm",
+        layers=[LayerEvaluation(
+            layer="l0", su_name="SU1", counts=counts,
+            latency=latency, energy=energy)])
+
+
+class TestConfigHash:
+    def test_pinned_value(self):
+        # Catches accidental canonical-format drift; update deliberately
+        # (and bump SPEC_VERSION) if the point schema changes.
+        assert EvalPoint("SCNN", "cnn_lstm").key() == "79218e45922db902"
+
+    def test_key_order_independent(self):
+        a = config_hash({"x": 1, "y": [1, 2], "z": None})
+        b = config_hash({"z": None, "y": [1, 2], "x": 1})
+        assert a == b
+
+    def test_distinct_points_distinct_keys(self):
+        keys = {
+            EvalPoint(acc, net, variant=v).key()
+            for acc, net, v in [
+                ("SCNN", "cnn_lstm", None),
+                ("SCNN", "resnet18", None),
+                ("BitWave", "cnn_lstm", None),
+                ("BitWave", "cnn_lstm", "Dense"),
+                ("BitWave", "cnn_lstm", "+DF"),
+            ]
+        }
+        assert len(keys) == 5
+
+    def test_key_matches_dict_hash(self):
+        point = EvalPoint("BitWave", "resnet18", variant="+DF+SM")
+        assert point.key() == config_hash(point.to_dict())
+
+    def test_fingerprint_is_stable_hex(self):
+        fp = code_fingerprint()
+        assert fp == code_fingerprint()
+        assert len(fp) == 12
+        int(fp, 16)
+
+
+class TestEvalPoint:
+    def test_unknown_network(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            EvalPoint("SCNN", "alexnet").validate()
+
+    def test_unknown_accelerator(self):
+        with pytest.raises(ValueError, match="unknown accelerator"):
+            EvalPoint("TPU", "cnn_lstm").validate()
+
+    def test_variant_requires_bitwave(self):
+        with pytest.raises(ValueError, match="BitWave ablations"):
+            EvalPoint("SCNN", "cnn_lstm", variant="Dense").validate()
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown BitWave variant"):
+            EvalPoint("BitWave", "cnn_lstm", variant="+XX").validate()
+
+    def test_labels(self):
+        assert EvalPoint("SCNN", "cnn_lstm").label == "SCNN/cnn_lstm"
+        assert EvalPoint("BitWave", "resnet18", variant="+DF").config_label \
+            == "BitWave[+DF]"
+
+    def test_dict_roundtrip(self):
+        point = EvalPoint("BitWave", "bert_base", variant="+DF")
+        assert EvalPoint.from_dict(point.to_dict()) == point
+
+    def test_full_variant_canonicalizes_to_sota_point(self):
+        full = EvalPoint("BitWave", "cnn_lstm", variant="+DF+SM+BF")
+        sota = EvalPoint("BitWave", "cnn_lstm")
+        assert full == sota
+        assert full.key() == sota.key()
+        assert full.config_label == "BitWave"
+
+    def test_canonicalization_matches_constructor_defaults(self):
+        # The canonicalization is only sound while BitWave() defaults
+        # equal the fully-enabled ablation rung.
+        from repro.accelerators.bitwave import BREAKDOWN_CONFIGS, BitWave
+
+        bw = BitWave()
+        assert BREAKDOWN_CONFIGS["+DF+SM+BF"] == (
+            bw.dataflow, bw.columns, bw.bitflip)
+
+
+class TestCampaignSpec:
+    def test_points_cross_product(self):
+        spec = CampaignSpec(
+            name="t", accelerators=("SCNN", "Stripes"),
+            networks=("cnn_lstm", "resnet18"), variants=("Dense",))
+        points = spec.points()
+        assert len(points) == 2 * 2 + 2
+        assert len({p.key() for p in points}) == len(points)
+
+    def test_paper_grid_shape(self):
+        points = paper_grid().points()
+        # The fully-enabled variant canonicalizes into the SotA
+        # BitWave column, so one variant row collapses per network.
+        expected = len(SOTA_ACCELERATORS) * len(NETWORKS) \
+            + (len(BITWAVE_VARIANTS) - 1) * len(NETWORKS)
+        assert len(points) == expected
+
+    def test_rejects_empty_networks(self):
+        with pytest.raises(ValueError, match="at least one network"):
+            CampaignSpec(name="t", accelerators=("SCNN",)).validate()
+
+    def test_rejects_no_configs(self):
+        with pytest.raises(ValueError, match="accelerator or variant"):
+            CampaignSpec(name="t", networks=("cnn_lstm",)).validate()
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignSpec(name="t", accelerators=("SCNN", "SCNN"),
+                         networks=("cnn_lstm",)).validate()
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValueError, match="name"):
+            CampaignSpec(name="bad name!", accelerators=("SCNN",),
+                         networks=("cnn_lstm",)).validate()
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            CampaignSpec(name="t", networks=("cnn_lstm",),
+                         variants=("Sparse",)).validate()
+
+    def test_json_roundtrip(self, tmp_path):
+        spec = CampaignSpec(
+            name="rt", accelerators=("BitWave",),
+            networks=("cnn_lstm",), variants=("Dense", "+DF"))
+        path = tmp_path / "spec.json"
+        spec.to_json(path)
+        assert CampaignSpec.from_json(path) == spec
+
+    def test_lists_normalized_to_tuples(self):
+        spec = CampaignSpec(name="t", accelerators=["SCNN"],
+                            networks=["cnn_lstm"])
+        assert spec.accelerators == ("SCNN",)
+        assert spec.points()
+
+
+class TestRecords:
+    def test_exact_roundtrip(self):
+        evaluation = _synthetic_evaluation()
+        data = json.loads(json.dumps(evaluation_to_dict(evaluation)))
+        assert evaluation_from_dict(data) == evaluation
+
+    def test_make_record_fields(self):
+        point = EvalPoint("SCNN", "cnn_lstm")
+        record = make_record(point, _synthetic_evaluation(), elapsed_s=1.5)
+        assert record["key"] == point.key()
+        assert record["point"] == point.to_dict()
+        assert record["fingerprint"] == code_fingerprint()
+        assert record["elapsed_s"] == 1.5
+        assert record["result"]["layers"]
+
+
+class TestResultStore:
+    def _record(self, key: str, marker: int) -> dict:
+        from repro.dse.records import RECORD_VERSION
+        return {"key": key, "marker": marker, "version": RECORD_VERSION,
+                "result": evaluation_to_dict(_synthetic_evaluation())}
+
+    def test_roundtrip_across_instances(self, tmp_path):
+        store = ResultStore(tmp_path, namespace="ns")
+        store.put("k1", self._record("k1", 1))
+        fresh = ResultStore(tmp_path, namespace="ns")
+        assert "k1" in fresh
+        assert fresh.get("k1")["marker"] == 1
+        assert fresh.evaluation("k1") == _synthetic_evaluation()
+
+    def test_missing_key(self, tmp_path):
+        store = ResultStore(tmp_path, namespace="ns")
+        assert store.get("nope") is None
+        assert store.evaluation("nope") is None
+        assert len(store) == 0
+
+    def test_last_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path, namespace="ns")
+        store.put("k", self._record("k", 1))
+        store.put("k", self._record("k", 2))
+        fresh = ResultStore(tmp_path, namespace="ns")
+        assert fresh.get("k")["marker"] == 2
+        assert len(fresh) == 1
+
+    def test_torn_line_skipped(self, tmp_path):
+        store = ResultStore(tmp_path, namespace="ns")
+        store.put("k1", self._record("k1", 1))
+        with store.path.open("a") as handle:
+            handle.write('{"key": "k2", "trunc')  # crashed mid-write
+        fresh = ResultStore(tmp_path, namespace="ns")
+        assert "k1" in fresh and "k2" not in fresh
+
+    def test_compact_drops_duplicates(self, tmp_path):
+        store = ResultStore(tmp_path, namespace="ns")
+        store.put("k", self._record("k", 1))
+        store.put("k", self._record("k", 2))
+        assert store.compact() == 1
+        assert len(store.path.read_text().strip().splitlines()) == 1
+        assert ResultStore(tmp_path, namespace="ns").get("k")["marker"] == 2
+
+    def test_stale_record_version_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path, namespace="ns")
+        record = self._record("k", 1)
+        record["version"] = -1  # written by an older record layout
+        store.put("k", record)
+        fresh = ResultStore(tmp_path, namespace="ns")
+        assert "k" in fresh  # raw record still visible
+        assert fresh.evaluation("k") is None  # but not trusted
+
+    def test_default_namespace_is_fingerprint(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.namespace == code_fingerprint()
+        assert store.path.parent.name == code_fingerprint()
+
+    def test_refresh_sees_external_writes(self, tmp_path):
+        store = ResultStore(tmp_path, namespace="ns")
+        store.put("k1", self._record("k1", 1))
+        other = ResultStore(tmp_path, namespace="ns")
+        assert "k1" in other
+        store.put("k2", self._record("k2", 2))
+        assert "k2" not in other  # loaded index is a snapshot
+        other.refresh()
+        assert "k2" in other
