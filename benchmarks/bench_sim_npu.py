@@ -1,0 +1,93 @@
+"""Simulator datapath benchmarks: vectorized vs reference backend.
+
+Two granularities:
+
+- ``mid_layer``: one realistic FC layer through both backends -- cheap
+  enough for CI smoke (the workflow runs ``-k mid_layer`` with a single
+  round and asserts the vectorized backend wins);
+- ``validation_suite``: the headline number -- the full (enlarged)
+  Section V-B validation suite through the structural simulator, where
+  the plane-level rewrite must deliver >= 50x.
+
+``benchmarks/run_sim_bench.py`` exports these results to
+``BENCH_sim.json`` for the cross-PR perf trajectory.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments.validation_sim_vs_model import (
+    VALIDATION_SUITE,
+    simulate_case,
+)
+from repro.sim.npu import BitWaveNPU
+
+#: Mid-size FC layer (K, C, contexts) for the smoke comparison.
+MID_LAYER = (128, 512, 16)
+
+#: Acceptance floor for the suite-level speedup.
+SUITE_SPEEDUP_FLOOR = 50.0
+
+
+def _mid_layer_data():
+    k, c, n = MID_LAYER
+    rng = np.random.default_rng(42)
+    weights = np.clip(np.round(rng.laplace(0, 11, (k, c))),
+                      -127, 127).astype(np.int8)
+    acts = rng.integers(-128, 128, (n, c)).astype(np.int32)
+    return weights, acts
+
+
+def _run_mid_layer(backend):
+    weights, acts = _mid_layer_data()
+    return BitWaveNPU(backend=backend).run_fc(weights, acts)
+
+
+def _simulate_suite(backend):
+    return [simulate_case(case, backend=backend)
+            for case in VALIDATION_SUITE]
+
+
+@pytest.mark.benchmark(group="sim-mid-layer")
+def test_mid_layer_vectorized_vs_reference(benchmark):
+    """CI smoke: the vectorized backend must beat the reference loop."""
+    start = time.perf_counter()
+    reference = _run_mid_layer("reference")
+    reference_s = time.perf_counter() - start
+
+    vectorized = benchmark(_run_mid_layer, "vectorized")
+
+    np.testing.assert_array_equal(reference.outputs, vectorized.outputs)
+    assert reference.compute_cycles == vectorized.compute_cycles
+    vectorized_s = benchmark.stats.stats.mean
+    benchmark.extra_info["reference_s"] = reference_s
+    benchmark.extra_info["speedup"] = reference_s / vectorized_s
+    assert vectorized_s < reference_s, (
+        f"vectorized ({vectorized_s:.3f}s) not faster than reference "
+        f"({reference_s:.3f}s)")
+
+
+@pytest.mark.benchmark(group="sim-validation-suite")
+def test_validation_suite_speedup(benchmark):
+    """Headline: full validation suite, >= 50x over the reference loop."""
+    start = time.perf_counter()
+    reference = _simulate_suite("reference")
+    reference_s = time.perf_counter() - start
+
+    vectorized = benchmark.pedantic(
+        _simulate_suite, args=("vectorized",), rounds=3, iterations=1)
+
+    for ref_run, vec_run in zip(reference, vectorized):
+        np.testing.assert_array_equal(ref_run.outputs, vec_run.outputs)
+        assert ref_run.compute_cycles == vec_run.compute_cycles
+    vectorized_s = benchmark.stats.stats.mean
+    speedup = reference_s / vectorized_s
+    benchmark.extra_info["reference_s"] = reference_s
+    benchmark.extra_info["layers"] = len(VALIDATION_SUITE)
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= SUITE_SPEEDUP_FLOOR, (
+        f"suite speedup {speedup:.1f}x below the {SUITE_SPEEDUP_FLOOR:.0f}x "
+        f"floor (reference {reference_s:.2f}s, vectorized "
+        f"{vectorized_s:.2f}s)")

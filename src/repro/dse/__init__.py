@@ -6,10 +6,22 @@ process pool (:func:`run_campaign`) with results persisted in a
 :class:`ResultStore` keyed by stable config hashes -- so re-runs are
 incremental and grids are shared across processes and sessions.
 
-CLI: ``python -m repro.dse {init,points,run,summary,pareto}``.
+A second campaign axis sweeps the *structural simulator* configuration
+through the Section V-B validation suite (:mod:`repro.dse.simcampaign`),
+made practical by the vectorized datapath backend.
+
+CLI: ``python -m repro.dse {init,points,run,summary,pareto,sim}``.
 """
 
 from repro.dse.executor import CampaignRun, evaluate_point, run_campaign
+from repro.dse.simcampaign import (
+    SimCampaignRun,
+    SimCampaignSpec,
+    SimPoint,
+    run_sim_campaign,
+    sim_code_fingerprint,
+    sim_store,
+)
 from repro.dse.records import (
     evaluation_from_dict,
     evaluation_to_dict,
@@ -36,6 +48,9 @@ __all__ = [
     "CampaignSpec",
     "EvalPoint",
     "ResultStore",
+    "SimCampaignRun",
+    "SimCampaignSpec",
+    "SimPoint",
     "campaign_pareto",
     "code_fingerprint",
     "config_hash",
@@ -47,5 +62,8 @@ __all__ = [
     "paper_grid",
     "pareto_table",
     "run_campaign",
+    "run_sim_campaign",
+    "sim_code_fingerprint",
+    "sim_store",
     "summary_table",
 ]

@@ -15,6 +15,11 @@ Examples::
     # Summaries read the store only -- no evaluation.
     python -m repro.dse summary --spec campaign.json
     python -m repro.dse pareto --spec campaign.json --x cycles --y energy
+
+    # Sim-backed validation campaigns sweep the structural simulator's
+    # configuration (group size, unrolls, datapath backend) and run the
+    # Section V-B validation suite at every point.
+    python -m repro.dse sim --group-sizes 4,8 --oxus 8,16 --jobs 4
 """
 
 from __future__ import annotations
@@ -24,14 +29,26 @@ import sys
 from typing import Sequence
 
 from repro.dse.executor import run_campaign
+from repro.dse.simcampaign import (
+    SimCampaignSpec,
+    run_sim_campaign,
+    sim_store,
+    sim_summary_rows,
+)
 from repro.dse.spec import CampaignSpec, paper_grid
 from repro.dse.store import ResultStore
 from repro.dse.summary import METRICS, pareto_table, summary_table
+from repro.sim.npu import BACKENDS
 from repro.utils.progress import ProgressPrinter
+from repro.utils.tables import format_table
 
 
 def _csv(value: str) -> tuple[str, ...]:
     return tuple(part for part in value.split(",") if part)
+
+
+def _int_csv(value: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in value.split(",") if part)
 
 
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
@@ -121,6 +138,29 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sim(args: argparse.Namespace) -> int:
+    spec = SimCampaignSpec(
+        name=args.name,
+        group_sizes=args.group_sizes,
+        kus=args.kus,
+        oxus=args.oxus,
+        backends=args.backends,
+    )
+    spec.validate()
+    store = sim_store(args.store)
+    progress = None if args.quiet else ProgressPrinter()
+    run = run_sim_campaign(
+        spec, store, jobs=args.jobs, force=args.force, progress=progress)
+    print(run.summary_line)
+    print()
+    print(format_table(
+        ["config", "layers", "total cycles", "max deviation"],
+        sim_summary_rows(run),
+        title="Sim-backed validation campaign (paper bound: <6%)",
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.dse",
@@ -163,6 +203,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_pareto.add_argument("--y", default="energy", choices=sorted(METRICS),
                           help="second objective (default: energy)")
     p_pareto.set_defaults(func=_cmd_pareto)
+
+    p_sim = sub.add_parser(
+        "sim", help="run a sim-backed validation campaign over "
+                    "simulator configurations")
+    p_sim.add_argument("--name", default="sim-adhoc",
+                       help="campaign name (reporting only)")
+    p_sim.add_argument("--group-sizes", type=_int_csv, default=(8,),
+                       metavar="G,H", help="BCS group sizes (default: 8)")
+    p_sim.add_argument("--kus", type=_int_csv, default=(32,),
+                       metavar="K,L", help="kernel unrolls (default: 32)")
+    p_sim.add_argument("--oxus", type=_int_csv, default=(16,),
+                       metavar="X,Y", help="spatial unrolls (default: 16)")
+    p_sim.add_argument("--backends", type=_csv, default=("vectorized",),
+                       metavar="B,C",
+                       help=f"datapath backends, from {BACKENDS} "
+                            "(default: vectorized)")
+    p_sim.add_argument("--store", metavar="DIR", default=None,
+                       help="result-store root (default: "
+                            "$REPRO_DSE_STORE or ~/.cache/repro-dse)")
+    p_sim.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (0 = all CPUs; default 1)")
+    p_sim.add_argument("--force", action="store_true",
+                       help="re-evaluate points already in the store")
+    p_sim.add_argument("--quiet", action="store_true",
+                       help="suppress per-point progress lines")
+    p_sim.set_defaults(func=_cmd_sim)
     return parser
 
 

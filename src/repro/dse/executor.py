@@ -81,6 +81,86 @@ def resolve_jobs(jobs: int) -> int:
     return jobs or os.cpu_count() or 1
 
 
+def drive_points(
+    points,
+    run,
+    store,
+    *,
+    jobs: int,
+    worker: Callable,
+    cached_result: Callable,
+    make_record: Callable,
+    decode_result: Callable,
+    force: bool = False,
+    chunksize: int | None = None,
+    progress: ProgressFn | None = None,
+) -> None:
+    """Shared campaign driver: cache scan, pool fan-out, store commits.
+
+    Used by both the analytical grid (:func:`run_campaign`) and the
+    sim-validation campaign (:mod:`repro.dse.simcampaign`) so resume and
+    persistence semantics cannot diverge.  Parameterized by:
+
+    - ``worker(point) -> (key, result_dict, elapsed_s)`` -- pool task;
+    - ``cached_result(store, key)`` -- decoded stored value or ``None``;
+    - ``make_record(point, result_dict, elapsed_s)`` -- store record;
+    - ``decode_result(result_dict)`` -- worker payload to stored value.
+
+    ``run`` accumulates ``results``/``cached``/``evaluated``/
+    ``persist_failures`` in place.  The parent process owns all store
+    writes; workers only compute.
+    """
+    jobs = resolve_jobs(jobs)
+    by_key = {point.key(): point for point in points}
+
+    pending = []
+    done = 0
+    for point in points:
+        result = None if force else cached_result(store, point.key())
+        if result is not None:
+            run.results[point.key()] = result
+            run.cached += 1
+            done += 1
+            if progress is not None:
+                progress(done, run.total, point.label,
+                         cached=True, elapsed_s=None)
+        else:
+            pending.append(point)
+
+    store_down = False
+
+    def commit(key: str, result: dict[str, Any], elapsed: float) -> None:
+        nonlocal done, store_down
+        point = by_key[key]
+        if store_down:
+            run.persist_failures += 1
+        else:
+            try:
+                store.put(key, make_record(point, result, elapsed))
+            except OSError:
+                # An unwritable store costs persistence, not the run.
+                store_down = True
+                run.persist_failures += 1
+        run.results[key] = decode_result(result)
+        run.evaluated += 1
+        done += 1
+        if progress is not None:
+            progress(done, run.total, point.label,
+                     cached=False, elapsed_s=elapsed)
+
+    if jobs <= 1 or len(pending) <= 1:
+        for point in pending:
+            commit(*worker(point))
+    elif pending:
+        if chunksize is None:
+            chunksize = max(1, len(pending) // (jobs * 4))
+        workers = min(jobs, len(pending))
+        with multiprocessing.Pool(processes=workers) as pool:
+            for key, result, elapsed in pool.imap_unordered(
+                    worker, pending, chunksize=chunksize):
+                commit(key, result, elapsed)
+
+
 def run_campaign(
     spec: CampaignSpec,
     store: ResultStore | None = None,
@@ -99,56 +179,18 @@ def run_campaign(
     spec.validate()
     if store is None:
         store = ResultStore()
-    jobs = resolve_jobs(jobs)
     points = spec.points()
-    by_key = {point.key(): point for point in points}
     run = CampaignRun(spec=spec, store_path=store.path, points=points,
                       total=len(points))
-
-    pending: list[EvalPoint] = []
-    done = 0
-    for point in points:
-        evaluation = None if force else store.evaluation(point.key())
-        if evaluation is not None:
-            run.results[point.key()] = evaluation
-            run.cached += 1
-            done += 1
-            if progress is not None:
-                progress(done, run.total, point.label,
-                         cached=True, elapsed_s=None)
-        else:
-            pending.append(point)
-
-    store_down = False
-
-    def commit(key: str, result: dict[str, Any], elapsed: float) -> None:
-        nonlocal done, store_down
-        point = by_key[key]
-        if store_down:
-            run.persist_failures += 1
-        else:
-            try:
-                store.put(key, make_record(point, result, elapsed_s=elapsed))
-            except OSError:
-                # An unwritable store costs persistence, not the run.
-                store_down = True
-                run.persist_failures += 1
-        run.results[key] = evaluation_from_dict(result)
-        run.evaluated += 1
-        done += 1
-        if progress is not None:
-            progress(done, run.total, point.label,
-                     cached=False, elapsed_s=elapsed)
-
-    if jobs <= 1 or len(pending) <= 1:
-        for point in pending:
-            commit(*_worker(point))
-    elif pending:
-        if chunksize is None:
-            chunksize = max(1, len(pending) // (jobs * 4))
-        workers = min(jobs, len(pending))
-        with multiprocessing.Pool(processes=workers) as pool:
-            for key, result, elapsed in pool.imap_unordered(
-                    _worker, pending, chunksize=chunksize):
-                commit(key, result, elapsed)
+    drive_points(
+        points, run, store,
+        jobs=jobs,
+        worker=_worker,
+        cached_result=lambda st, key: st.evaluation(key),
+        make_record=make_record,
+        decode_result=evaluation_from_dict,
+        force=force,
+        chunksize=chunksize,
+        progress=progress,
+    )
     return run

@@ -1,0 +1,276 @@
+"""Sim-backed validation campaigns: sweep simulator configs in parallel.
+
+The second campaign axis of the DSE engine.  Where :mod:`repro.dse.spec`
+grids sweep the *analytical model* over accelerators x networks, a sim
+campaign sweeps the *structural simulator* configuration -- group size,
+kernel/spatial unrolls, datapath backend -- and runs the Section V-B
+validation suite (:mod:`repro.experiments.validation_sim_vs_model`) at
+every point, recording per-layer simulated/analytic cycles and the
+model deviation.  Before the vectorized datapath this was impractical:
+one reference-backend suite pass costs more than an entire vectorized
+campaign.
+
+Results persist in the same :class:`repro.dse.store.ResultStore`
+machinery, namespaced by a *simulator* code fingerprint (the store's
+default fingerprint tracks the analytical model, not :mod:`repro.sim`),
+so editing the datapath invalidates stale sim records automatically.
+
+CLI: ``python -m repro.dse sim --group-sizes 4,8 --oxus 8,16 --jobs 4``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.dse.spec import config_hash
+from repro.dse.store import ResultStore
+from repro.experiments import validation_sim_vs_model
+from repro.sim.npu import BACKENDS
+
+#: Bump when the meaning of a sim point's fields changes.
+SIM_SPEC_VERSION = 1
+
+#: Record layout version for sim-validation store entries.
+SIM_RECORD_VERSION = 1
+
+#: Discriminator stored in every sim point/record.
+SIM_KIND = "sim-validation"
+
+
+@lru_cache(maxsize=1)
+def sim_code_fingerprint() -> str:
+    """Digest of the simulator + validation-suite source.
+
+    The analogue of :func:`repro.dse.spec.code_fingerprint` for sim
+    campaigns: records are only valid for the datapath and suite that
+    produced them.
+    """
+    import repro.sim
+
+    digest = hashlib.sha256()
+    root = Path(repro.sim.__file__).parent
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(path.read_bytes())
+    digest.update(Path(validation_sim_vs_model.__file__).read_bytes())
+    return "sim-" + digest.hexdigest()[:12]
+
+
+def sim_store(root: str | Path | None = None) -> ResultStore:
+    """A result store namespaced by the simulator fingerprint."""
+    return ResultStore(root, namespace=sim_code_fingerprint())
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One simulator configuration to validate."""
+
+    group_size: int = 8
+    ku: int = 32
+    oxu: int = 16
+    backend: str = "vectorized"
+
+    def validate(self) -> None:
+        if self.group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {self.group_size}")
+        if self.ku < 1:
+            raise ValueError(f"ku must be >= 1, got {self.ku}")
+        if self.oxu < 1:
+            raise ValueError(f"oxu must be >= 1, got {self.oxu}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; one of {BACKENDS}")
+
+    @property
+    def label(self) -> str:
+        return (f"sim[G={self.group_size},Ku={self.ku},OXu={self.oxu},"
+                f"{self.backend}]")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": SIM_SPEC_VERSION,
+            "kind": SIM_KIND,
+            "group_size": self.group_size,
+            "ku": self.ku,
+            "oxu": self.oxu,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimPoint":
+        return cls(
+            group_size=data["group_size"],
+            ku=data["ku"],
+            oxu=data["oxu"],
+            backend=data.get("backend", "vectorized"),
+        )
+
+    def key(self) -> str:
+        """Stable result-store key for this configuration."""
+        return config_hash(self.to_dict())
+
+    def evaluate(self) -> dict[str, Any]:
+        """Run the validation suite at this configuration."""
+        self.validate()
+        rows = validation_sim_vs_model.run(
+            group_size=self.group_size, ku=self.ku, oxu=self.oxu,
+            backend=self.backend)
+        return {
+            "rows": rows,
+            "layers": len(rows),
+            "max_deviation": max(r["deviation"] for r in rows),
+            "total_simulated_cycles": sum(
+                r["simulated_cycles"] for r in rows),
+        }
+
+
+@dataclass(frozen=True)
+class SimCampaignSpec:
+    """Cross product of simulator-configuration axes."""
+
+    name: str
+    group_sizes: tuple[int, ...] = (8,)
+    kus: tuple[int, ...] = (32,)
+    oxus: tuple[int, ...] = (16,)
+    backends: tuple[str, ...] = ("vectorized",)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group_sizes", tuple(self.group_sizes))
+        object.__setattr__(self, "kus", tuple(self.kus))
+        object.__setattr__(self, "oxus", tuple(self.oxus))
+        object.__setattr__(self, "backends", tuple(self.backends))
+
+    def validate(self) -> None:
+        for axis in ("group_sizes", "kus", "oxus", "backends"):
+            values = getattr(self, axis)
+            if not values:
+                raise ValueError(f"sim campaign needs at least one {axis}")
+            if len(set(values)) != len(values):
+                raise ValueError(f"duplicate values in {axis}: {values}")
+
+    def points(self) -> list[SimPoint]:
+        self.validate()
+        points = [
+            SimPoint(group_size=g, ku=ku, oxu=oxu, backend=backend)
+            for backend in self.backends
+            for g in self.group_sizes
+            for ku in self.kus
+            for oxu in self.oxus
+        ]
+        for point in points:
+            point.validate()
+        return points
+
+
+def make_sim_record(point: SimPoint, result: Mapping[str, Any],
+                    elapsed_s: float | None = None) -> dict[str, Any]:
+    return {
+        "version": SIM_RECORD_VERSION,
+        "key": point.key(),
+        "point": point.to_dict(),
+        "fingerprint": sim_code_fingerprint(),
+        "created_at": time.time(),
+        "elapsed_s": elapsed_s,
+        "result": dict(result),
+    }
+
+
+def stored_sim_result(store: ResultStore, key: str) -> dict[str, Any] | None:
+    """The persisted suite result for ``key``, if layout-compatible."""
+    record = store.get(key)
+    if record is None or record.get("version") != SIM_RECORD_VERSION:
+        return None
+    if record.get("point", {}).get("kind") != SIM_KIND:
+        return None
+    return record["result"]
+
+
+@dataclass
+class SimCampaignRun:
+    """Outcome of one :func:`run_sim_campaign` invocation."""
+
+    spec: SimCampaignSpec
+    store_path: Path
+    points: list[SimPoint]
+    total: int = 0
+    cached: int = 0
+    evaluated: int = 0
+    persist_failures: int = 0
+    #: config-hash key -> suite result dict, all points.
+    results: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def result_for(self, point: SimPoint) -> dict[str, Any]:
+        return self.results[point.key()]
+
+    @property
+    def summary_line(self) -> str:
+        line = (
+            f"sim campaign {self.spec.name}: total={self.total} "
+            f"cached={self.cached} evaluated={self.evaluated} "
+            f"store={self.store_path}"
+        )
+        if self.persist_failures:
+            line += f" (WARNING: {self.persist_failures} results not persisted)"
+        return line
+
+
+def _sim_worker(point: SimPoint) -> tuple[str, dict[str, Any], float]:
+    start = time.perf_counter()
+    result = point.evaluate()
+    return point.key(), result, time.perf_counter() - start
+
+
+def run_sim_campaign(
+    spec: SimCampaignSpec,
+    store: ResultStore | None = None,
+    *,
+    jobs: int = 1,
+    force: bool = False,
+    progress=None,
+) -> SimCampaignRun:
+    """Run (or resume) a sim-validation campaign over a process pool.
+
+    Shares the :func:`repro.dse.executor.drive_points` driver with the
+    analytical grid: cached points are served from the store, pending
+    points fan out over ``jobs`` workers (``0`` = all CPUs), and the
+    parent process owns all store writes.
+    """
+    from repro.dse.executor import drive_points
+
+    spec.validate()
+    if store is None:
+        store = sim_store()
+    points = spec.points()
+    run = SimCampaignRun(spec=spec, store_path=store.path, points=points,
+                         total=len(points))
+    drive_points(
+        points, run, store,
+        jobs=jobs,
+        worker=_sim_worker,
+        cached_result=stored_sim_result,
+        make_record=make_sim_record,
+        decode_result=lambda result: result,
+        force=force,
+        chunksize=1,
+        progress=progress,
+    )
+    return run
+
+
+def sim_summary_rows(run: SimCampaignRun) -> list[Sequence[Any]]:
+    """Table rows summarizing a sim campaign (one row per point)."""
+    rows = []
+    for point in run.points:
+        result = run.result_for(point)
+        rows.append([
+            point.label,
+            result["layers"],
+            f"{result['total_simulated_cycles']:,}",
+            f"{100 * result['max_deviation']:.2f}%",
+        ])
+    return rows

@@ -11,17 +11,20 @@ same way the paper validates its model against RTL (<6% deviation,
 Section V-B).
 """
 
-from repro.sim.bce import BitColumnEngine
+from repro.sim.bce import BitColumnEngine, BitPlaneEngine
 from repro.sim.memory import DramStream, SramBank
-from repro.sim.npu import BitWaveNPU, LayerRun
-from repro.sim.zcip import ParsedIndex, ZeroColumnIndexParser
+from repro.sim.npu import BACKENDS, BitWaveNPU, LayerRun
+from repro.sim.zcip import ParsedIndex, ParsedIndexArray, ZeroColumnIndexParser
 
 __all__ = [
+    "BACKENDS",
     "BitColumnEngine",
+    "BitPlaneEngine",
     "BitWaveNPU",
     "DramStream",
     "LayerRun",
     "ParsedIndex",
+    "ParsedIndexArray",
     "SramBank",
     "ZeroColumnIndexParser",
 ]

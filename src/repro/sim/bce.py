@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sim.smm import smm_column_sum
+from repro.core.signmag import MAGNITUDE_PLANES, PLANE_SIGNIFICANCE
+from repro.sim.smm import smm_column_sum, smm_plane_gemm
 from repro.sim.zcip import ParsedIndex
 
 
@@ -78,3 +79,69 @@ class BitColumnEngine:
             # Sign-column fetch occupies the pipe for one cycle.
             self.cycles += 1
         return accumulator
+
+
+class BitPlaneEngine:
+    """Plane-level batch view of the whole BCE array.
+
+    Where :class:`BitColumnEngine` streams one bit column of one weight
+    group per call, the plane engine multiplies *every* group of *every*
+    kernel against one shared-significance bit plane in a single GEMM
+    (:func:`repro.sim.smm.smm_plane_gemm`) and applies the plane's
+    single shift to the whole partial-sum matrix.  Zero columns carry
+    all-zero plane bits and contribute nothing to the GEMM, so the
+    accumulated outputs are bit-identical to the column-serial engine
+    (int64 addition is exact and order-independent); only the cycle
+    accounting moves out of the datapath, into the ZCIP lookup tables.
+    """
+
+    def __init__(self, group_size: int = 8) -> None:
+        if group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        self.group_size = group_size
+
+    def process_layer(
+        self,
+        activations: np.ndarray,
+        planes: np.ndarray,
+        signs: np.ndarray,
+        streamed_planes: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Run the whole layer, one GEMM per streamed magnitude plane.
+
+        Parameters
+        ----------
+        activations:
+            ``(N, n_groups, G)`` integer activation contexts.
+        planes:
+            ``(K, n_groups, 8, G)`` sign-magnitude bit planes (plane 0 is
+            the sign plane).
+        signs:
+            ``(K, n_groups, G)`` sign bits of the grouped weights.
+        streamed_planes:
+            Optional ``(8,)`` mask of planes the parser schedules; dense
+            mode truncates high significances away.  ``None`` streams
+            every magnitude plane (sparse mode: unselected planes are
+            all-zero and contribute nothing anyway).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(N, K)`` int64 partial sums.
+        """
+        activations = np.asarray(activations, dtype=np.int64)
+        if activations.shape[-1] != self.group_size:
+            raise ValueError(
+                f"expected {self.group_size} activations, got "
+                f"{activations.shape[-1]}")
+        n, k = activations.shape[0], planes.shape[0]
+        outputs = np.zeros((n, k), dtype=np.int64)
+        for plane in MAGNITUDE_PLANES:
+            if streamed_planes is not None and not streamed_planes[plane]:
+                continue
+            bits = planes[:, :, plane, :]
+            if not bits.any():
+                continue  # empty plane: no column anywhere streams it
+            outputs += smm_plane_gemm(activations, bits, signs) << np.int64(
+                PLANE_SIGNIFICANCE[plane])
+        return outputs

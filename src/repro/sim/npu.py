@@ -5,6 +5,20 @@ datapath -- ZCIP parsing of real BCS index bytes, BCE column processing,
 fetcher traffic at Table I bandwidths -- producing bit-exact integer
 outputs plus a cycle/traffic report.
 
+Two backends implement the datapath:
+
+- ``"vectorized"`` (default) decodes the whole ``(K, n_groups)`` index
+  array through the ZCIP lookup tables and computes the outputs as one
+  batched GEMM per streamed bit plane
+  (:class:`repro.sim.bce.BitPlaneEngine`) -- orders of magnitude faster
+  on realistic layers;
+- ``"reference"`` streams every group column-by-column through a
+  :class:`repro.sim.bce.BitColumnEngine`, one ZCIP parse per group --
+  the structural gold model.
+
+Both produce bit-identical outputs and identical cycle/traffic/column
+counts (pinned by the backend-equivalence tests).
+
 Cycle semantics match the analytical model of
 :mod:`repro.accelerators.bitwave`:
 
@@ -18,19 +32,22 @@ Cycle semantics match the analytical model of
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.signmag import sm_bitplanes
-from repro.sim.bce import BitColumnEngine
+from repro.sim.bce import BitColumnEngine, BitPlaneEngine
 from repro.sim.dispatcher import DataDispatcher
 from repro.sim.fetcher import DataFetcher
-from repro.sim.zcip import ParsedIndex, ZeroColumnIndexParser
+from repro.sim.zcip import ZeroColumnIndexParser
 
 #: Kernels sharing one 64-bit weight segment (Fig. 10: "64 same
 #: significance weight bits from 8 input channels across 8 kernels").
 SEGMENT_KERNELS = 8
+
+#: Datapath implementations selectable on :class:`BitWaveNPU`.
+BACKENDS = ("vectorized", "reference")
 
 
 @dataclass
@@ -66,12 +83,17 @@ class BitWaveNPU:
         weight_bw_bits: int = 256,
         act_bw_bits: int = 1024,
         dense_mode_precision: int | None = None,
+        backend: str = "vectorized",
     ) -> None:
         if group_size < 1:
             raise ValueError("group_size must be >= 1")
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; one of {BACKENDS}")
         self.group_size = group_size
         self.ku = ku
         self.oxu = oxu
+        self.backend = backend
         self.parser = ZeroColumnIndexParser(dense_mode_precision)
         self.fetcher = DataFetcher(weight_bw_bits, act_bw_bits)
         self.dispatcher = DataDispatcher()
@@ -102,6 +124,65 @@ class BitWaveNPU:
         index = (nz_mask * bit_weights).sum(axis=2).astype(np.uint8)
         return planes, signs, index
 
+    # -- datapath backends ---------------------------------------------
+    def _compute_reference(
+        self,
+        acts: np.ndarray,
+        planes: np.ndarray,
+        signs: np.ndarray,
+        index_bytes: np.ndarray,
+    ) -> tuple[np.ndarray, int, int, np.ndarray]:
+        """Column-serial gold datapath: one ZCIP parse per group, one
+        :class:`BitColumnEngine` pass per (kernel, group) pair.
+
+        Returns ``(outputs, column_ops, payload_bits, sync)`` with
+        ``sync`` the ``(K, n_groups)`` per-group sync counters.
+        """
+        k, n_groups = index_bytes.shape
+        n = acts.shape[0]
+        g = self.group_size
+        outputs = np.zeros((n, k), dtype=np.int64)
+        sync = np.zeros((k, n_groups), dtype=np.int64)
+        column_ops = 0
+        payload_bits = 0
+        engine = BitColumnEngine(g)
+        for ki in range(k):
+            for gi in range(n_groups):
+                parsed = self.parser.parse(int(index_bytes[ki, gi]))
+                # Plane index of each streamed column (MSB-first
+                # magnitude order); dense mode streams every column of
+                # the configured precision.
+                selected = [7 - s for s in parsed.shifts]
+                columns = planes[ki, gi, selected, :]
+                outputs[:, ki] += engine.process_group(
+                    acts[:, gi, :], columns, signs[ki, gi], parsed)
+                column_ops += len(parsed.shifts)
+                payload_bits += (len(parsed.shifts)
+                                 + (1 if parsed.sign_request else 0)) * g
+                sync[ki, gi] = parsed.sync_counter
+        return outputs, column_ops, payload_bits, sync
+
+    def _compute_vectorized(
+        self,
+        acts: np.ndarray,
+        planes: np.ndarray,
+        signs: np.ndarray,
+        index_bytes: np.ndarray,
+    ) -> tuple[np.ndarray, int, int, np.ndarray]:
+        """Plane-level batch datapath: LUT index decode + per-plane GEMMs.
+
+        Same contract as :meth:`_compute_reference`.
+        """
+        parsed = self.parser.parse_array(index_bytes)
+        engine = BitPlaneEngine(self.group_size)
+        outputs = engine.process_layer(
+            acts, planes, signs, parsed.streamed_planes)
+        column_ops = int(parsed.magnitude_columns.sum())
+        # Each group's payload is its magnitude columns plus the sign
+        # column when requested -- exactly the sync counter -- times G.
+        payload_bits = int(parsed.sync_counters.sum()) * self.group_size
+        return outputs, column_ops, payload_bits, parsed.sync_counters
+
     def run_fc(self, weights: np.ndarray, activations: np.ndarray) -> LayerRun:
         """Fully-connected layer: ``out[n, k] = sum_c a[n, c] * w[k, c]``.
 
@@ -128,33 +209,15 @@ class BitWaveNPU:
         planes, signs, index_bytes = self._encode_groups(weights)
         n_groups = planes.shape[1]
 
-        outputs = np.zeros((n, k), dtype=np.int64)
-        column_ops = 0
-        payload_bits = 0
-        context_repeats = -(-n // self.oxu)
-        parallel_streams = max(self.ku // SEGMENT_KERNELS, 1)
+        compute = (self._compute_vectorized if self.backend == "vectorized"
+                   else self._compute_reference)
+        outputs, column_ops, payload_bits, sync = compute(
+            acts, planes, signs, index_bytes)
 
-        engine = BitColumnEngine(g)
-        for ki in range(k):
-            for gi in range(n_groups):
-                parsed = self.parser.parse(int(index_bytes[ki, gi]))
-                # Plane index of each streamed column (MSB-first
-                # magnitude order); dense mode streams every column of
-                # the configured precision.
-                selected = [7 - s for s in parsed.shifts]
-                columns = planes[ki, gi, selected, :]
-                outputs[:, ki] += engine.process_group(
-                    acts[:, gi, :], columns, signs[ki, gi], parsed)
-                column_ops += len(parsed.shifts)
-                payload_bits += (len(parsed.shifts)
-                                 + (1 if parsed.sign_request else 0)) * g
         # Segment-level lockstep: kernels in blocks of 8 share the parser
         # schedule, so a segment context costs the max sync counter.
-        sync = np.zeros((k, n_groups), dtype=np.int64)
-        for ki in range(k):
-            for gi in range(n_groups):
-                sync[ki, gi] = self.parser.parse(
-                    int(index_bytes[ki, gi])).sync_counter
+        context_repeats = -(-n // self.oxu)
+        parallel_streams = max(self.ku // SEGMENT_KERNELS, 1)
         pad_k = (-k) % SEGMENT_KERNELS
         if pad_k:
             sync = np.concatenate(
@@ -217,11 +280,4 @@ class BitWaveNPU:
             weights.transpose(0, 2, 3, 1)).reshape(k, fy * fx * c)
         run = self.run_fc(w_mat, cols)
         outputs = run.outputs.reshape(b, oh, ow, k).transpose(0, 3, 1, 2)
-        return LayerRun(
-            outputs=outputs,
-            compute_cycles=run.compute_cycles,
-            fetch_cycles=run.fetch_cycles,
-            column_ops=run.column_ops,
-            weight_bits_fetched=run.weight_bits_fetched,
-            dense_weight_bits=run.dense_weight_bits,
-        )
+        return replace(run, outputs=outputs)

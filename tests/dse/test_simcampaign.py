@@ -1,0 +1,111 @@
+"""Sim-backed validation campaigns: spec, store round-trip, CLI."""
+
+import json
+
+import pytest
+
+from repro.dse.__main__ import main as dse_main
+from repro.dse.simcampaign import (
+    SimCampaignSpec,
+    SimPoint,
+    run_sim_campaign,
+    sim_code_fingerprint,
+    sim_store,
+    stored_sim_result,
+)
+
+
+class TestSimPoint:
+    def test_key_is_stable_and_distinct(self):
+        a = SimPoint(group_size=8, oxu=16)
+        b = SimPoint(group_size=8, oxu=16)
+        c = SimPoint(group_size=4, oxu=16)
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+
+    def test_backend_is_part_of_the_key(self):
+        assert (SimPoint(backend="vectorized").key()
+                != SimPoint(backend="reference").key())
+
+    def test_round_trip(self):
+        point = SimPoint(group_size=4, ku=64, oxu=8, backend="reference")
+        assert SimPoint.from_dict(point.to_dict()) == point
+
+    def test_validate_rejects_bad_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            SimPoint(backend="fpga").validate()
+
+    def test_validate_rejects_bad_dims(self):
+        with pytest.raises(ValueError, match="group_size"):
+            SimPoint(group_size=0).validate()
+
+
+class TestSimCampaignSpec:
+    def test_points_cross_product(self):
+        spec = SimCampaignSpec("sweep", group_sizes=(4, 8), oxus=(8, 16))
+        points = spec.points()
+        assert len(points) == 4
+        assert len({p.key() for p in points}) == 4
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError, match="group_sizes"):
+            SimCampaignSpec("bad", group_sizes=()).points()
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SimCampaignSpec("bad", oxus=(16, 16)).points()
+
+
+class TestRunSimCampaign:
+    def test_run_persists_and_resumes(self, tmp_path):
+        spec = SimCampaignSpec("t", group_sizes=(8,), oxus=(8, 16))
+        store = sim_store(tmp_path)
+        run = run_sim_campaign(spec, store)
+        assert (run.total, run.cached, run.evaluated) == (2, 0, 2)
+        for point in run.points:
+            result = run.result_for(point)
+            assert result["layers"] >= 10
+            assert result["max_deviation"] < 0.06
+
+        # Resume from a fresh store object: everything cached.
+        resumed = run_sim_campaign(spec, sim_store(tmp_path))
+        assert (resumed.cached, resumed.evaluated) == (2, 0)
+        assert resumed.results == run.results
+
+    def test_force_re_evaluates(self, tmp_path):
+        spec = SimCampaignSpec("t", group_sizes=(8,))
+        store = sim_store(tmp_path)
+        run_sim_campaign(spec, store)
+        forced = run_sim_campaign(spec, store, force=True)
+        assert (forced.cached, forced.evaluated) == (0, 1)
+
+    def test_records_are_json_clean(self, tmp_path):
+        store = sim_store(tmp_path)
+        run = run_sim_campaign(SimCampaignSpec("t"), store)
+        point = run.points[0]
+        raw = store.path.read_text().strip()
+        record = json.loads(raw)
+        assert record["point"]["kind"] == "sim-validation"
+        assert record["fingerprint"] == sim_code_fingerprint()
+        assert stored_sim_result(store, point.key()) == run.result_for(point)
+
+    def test_namespace_tracks_simulator_code(self, tmp_path):
+        assert sim_store(tmp_path).namespace.startswith("sim-")
+
+
+class TestSimCli:
+    def test_sim_subcommand_runs_and_resumes(self, tmp_path, capsys):
+        args = ["sim", "--name", "clismoke", "--group-sizes", "8",
+                "--oxus", "16", "--store", str(tmp_path), "--quiet"]
+        assert dse_main(args) == 0
+        out = capsys.readouterr().out
+        assert "cached=0 evaluated=1" in out
+        assert "max deviation" in out
+
+        assert dse_main(args) == 0
+        assert "cached=1 evaluated=0" in capsys.readouterr().out
+
+    def test_sim_rejects_bad_backend(self, tmp_path, capsys):
+        assert dse_main(["sim", "--backends", "fpga",
+                         "--store", str(tmp_path), "--quiet"]) == 2
+        assert "backend" in capsys.readouterr().err
