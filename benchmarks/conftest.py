@@ -12,6 +12,6 @@ import pytest
 @pytest.fixture(scope="session")
 def sota_grid():
     """Force the shared evaluation cache once per session."""
-    from repro.experiments.common import all_sota_evaluations
+    from repro.eval.grids import sota_grid as eval_sota_grid
 
-    return all_sota_evaluations()
+    return eval_sota_grid()

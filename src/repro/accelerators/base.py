@@ -28,7 +28,6 @@ from repro.model.technology import CLOCK_FREQUENCY_HZ, TECH_16NM, Technology
 from repro.model.zigzag import ActivityCounts, map_layer
 from repro.sparsity.profiles import network_weight_stats
 from repro.sparsity.stats import LayerWeightStats
-from repro.workloads.nets import network_layers
 from repro.workloads.spec import LayerSpec
 
 
@@ -199,5 +198,22 @@ class Accelerator:
         return result
 
     def evaluate_network(self, network: str) -> NetworkEvaluation:
-        return self.evaluate_workload(
-            network_layers(network), self.layer_stats(network), network)
+        """Deprecated: evaluate through :mod:`repro.eval` instead.
+
+        ``repro.eval.evaluate(EvalRequest(workload=network,
+        accelerator=...))`` adds store-backed caching and backend
+        selection; this shim keeps old callers working (bit-identical
+        numbers, no caching) by delegating to the same model-backend
+        lowering.
+        """
+        import warnings
+
+        warnings.warn(
+            "Accelerator.evaluate_network is deprecated; use "
+            "repro.eval.evaluate(EvalRequest(...)) (or "
+            "repro.eval.backends.model_network_evaluation for ad-hoc "
+            "accelerator instances)",
+            DeprecationWarning, stacklevel=2)
+        from repro.eval.backends import model_network_evaluation
+
+        return model_network_evaluation(self, network)

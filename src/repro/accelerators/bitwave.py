@@ -33,6 +33,7 @@ from repro.model.mapping import SpatialUnrolling
 from repro.model.technology import TECH_16NM, Technology
 from repro.sparsity.profiles import network_weight_stats
 from repro.sparsity.stats import LayerWeightStats
+from repro.workloads.nets import parse_network
 from repro.workloads.spec import LayerSpec
 
 SERIAL_COLUMNS = 8
@@ -237,7 +238,10 @@ class BitWave(Accelerator):
         base = network_weight_stats(network)
         if not self.bitflip:
             return base
-        targets = bitflip_targets_for(network, list(base))
+        # Parametrized workloads ("bert_base@tokens=128") share the base
+        # network's flip strategy -- the patterns match layer names,
+        # which do not depend on the parameters.
+        targets = bitflip_targets_for(parse_network(network)[0], list(base))
         return {
             name: stats.with_bitflip(targets[name]) if name in targets else stats
             for name, stats in base.items()

@@ -1,10 +1,12 @@
 """Design-space exploration engine.
 
 Declarative evaluation campaigns (:class:`CampaignSpec`) over the
-accelerator x network x variant grid, executed in parallel over a
-process pool (:func:`run_campaign`) with results persisted in a
-:class:`ResultStore` keyed by stable config hashes -- so re-runs are
-incremental and grids are shared across processes and sessions.
+accelerator x network x variant x backend grid (evaluated through
+:mod:`repro.eval`), executed in parallel over a process pool
+(:func:`run_campaign`) with canonical :class:`repro.eval.EvalResult`
+records persisted in a :class:`ResultStore` keyed by stable config
+hashes -- so re-runs are incremental and grids are shared across
+processes and sessions.
 
 A second campaign axis sweeps the *structural simulator* configuration
 through the Section V-B validation suite (:mod:`repro.dse.simcampaign`),
@@ -26,6 +28,8 @@ from repro.dse.records import (
     evaluation_from_dict,
     evaluation_to_dict,
     make_record,
+    result_from_dict,
+    result_to_dict,
 )
 from repro.dse.spec import (
     CampaignSpec,
@@ -61,6 +65,8 @@ __all__ = [
     "make_record",
     "paper_grid",
     "pareto_table",
+    "result_from_dict",
+    "result_to_dict",
     "run_campaign",
     "run_sim_campaign",
     "sim_code_fingerprint",

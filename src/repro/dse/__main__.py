@@ -12,8 +12,19 @@ Examples::
     python -m repro.dse run --name smoke \\
         --accelerators SCNN,Stripes --networks cnn_lstm --jobs 2
 
-    # Summaries read the store only -- no evaluation.
-    python -m repro.dse summary --spec campaign.json
+    # The evaluation backend is a campaign axis: sim-backed points run
+    # the structural NPU simulator (repro.eval's sim-* backends) and
+    # land in a store namespace keyed by the simulator fingerprint.
+    python -m repro.dse run --name simgrid --accelerators BitWave \\
+        --networks cnn_lstm --backends model,sim-vectorized
+
+    # Parametrized workloads make token sweeps ordinary grid axes.
+    python -m repro.dse run --name tokens --accelerators BitWave \\
+        --networks bert_base@tokens=4,bert_base@tokens=64
+
+    # Summaries read the store only -- no evaluation.  --format json
+    # emits machine-readable rows for scripting and dashboards.
+    python -m repro.dse summary --spec campaign.json --format json
     python -m repro.dse pareto --spec campaign.json --x cycles --y energy
 
     # Sim-backed validation campaigns sweep the structural simulator's
@@ -25,6 +36,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -33,11 +45,19 @@ from repro.dse.simcampaign import (
     SimCampaignSpec,
     run_sim_campaign,
     sim_store,
+    sim_summary_data,
     sim_summary_rows,
 )
 from repro.dse.spec import CampaignSpec, paper_grid
 from repro.dse.store import ResultStore
-from repro.dse.summary import METRICS, pareto_table, summary_table
+from repro.dse.summary import (
+    METRICS,
+    pareto_data,
+    pareto_table,
+    summary_data,
+    summary_table,
+)
+from repro.eval.registry import backend_names
 from repro.sim.npu import BACKENDS
 from repro.utils.progress import ProgressPrinter
 from repro.utils.tables import format_table
@@ -57,9 +77,16 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--accelerators", type=_csv, default=(),
                         metavar="A,B", help="comma-separated accelerators")
     parser.add_argument("--networks", type=_csv, default=(),
-                        metavar="N,M", help="comma-separated networks")
+                        metavar="N,M",
+                        help="comma-separated networks, optionally "
+                             "parametrized (bert_base@tokens=128)")
     parser.add_argument("--variants", type=_csv, default=(),
                         metavar="V,W", help="comma-separated BitWave variants")
+    parser.add_argument("--backends", type=_csv, default=(),
+                        metavar="B,C",
+                        help="comma-separated evaluation backends "
+                             f"(default: model; known: "
+                             f"{','.join(backend_names())})")
 
 
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
@@ -71,12 +98,19 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
                              "$REPRO_DSE_STORE or ~/.cache/repro-dse)")
 
 
+def _add_format_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help="output format (default: table)")
+
+
 def _inline_spec(args: argparse.Namespace) -> CampaignSpec:
     spec = CampaignSpec(
         name=args.name,
         accelerators=args.accelerators,
         networks=args.networks,
         variants=args.variants,
+        backends=args.backends or ("model",),
     )
     spec.validate()
     return spec
@@ -84,7 +118,8 @@ def _inline_spec(args: argparse.Namespace) -> CampaignSpec:
 
 def _load_spec(args: argparse.Namespace) -> CampaignSpec:
     if args.spec:
-        if args.accelerators or args.networks or args.variants:
+        if args.accelerators or args.networks or args.variants \
+                or args.backends:
             raise SystemExit("--spec and inline grid flags are exclusive")
         return CampaignSpec.from_json(args.spec)
     return _inline_spec(args)
@@ -94,8 +129,12 @@ def _store(args: argparse.Namespace) -> ResultStore:
     return ResultStore(args.store)
 
 
+def _emit_json(payload: object) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
 def _cmd_init(args: argparse.Namespace) -> int:
-    if args.accelerators or args.networks or args.variants:
+    if args.accelerators or args.networks or args.variants or args.backends:
         spec = _inline_spec(args)
     else:
         spec = paper_grid(args.name)
@@ -106,10 +145,21 @@ def _cmd_init(args: argparse.Namespace) -> int:
 
 
 def _cmd_points(args: argparse.Namespace) -> int:
+    from repro.dse.store import StoreRouter
+
     spec = _load_spec(args)
-    store = _store(args)
-    for point in spec.points():
-        status = "cached" if point.key() in store else "pending"
+    router = StoreRouter(_store(args))
+    points = spec.points()
+    if args.format == "json":
+        _emit_json([
+            {**point.to_dict(), "key": point.key(), "label": point.label,
+             "cached": point.key() in router.for_point(point)}
+            for point in points
+        ])
+        return 0
+    for point in points:
+        status = ("cached" if point.key() in router.for_point(point)
+                  else "pending")
         print(f"{point.key()}  {status:8s}  {point.label}")
     return 0
 
@@ -128,12 +178,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_summary(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
+    if args.format == "json":
+        _emit_json(summary_data(spec, _store(args)))
+        return 0
     print(summary_table(spec, _store(args)))
     return 0
 
 
 def _cmd_pareto(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
+    if args.format == "json":
+        _emit_json(pareto_data(spec, _store(args), x=args.x, y=args.y))
+        return 0
     print(pareto_table(spec, _store(args), x=args.x, y=args.y))
     return 0
 
@@ -151,6 +207,9 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     progress = None if args.quiet else ProgressPrinter()
     run = run_sim_campaign(
         spec, store, jobs=args.jobs, force=args.force, progress=progress)
+    if args.format == "json":
+        _emit_json(sim_summary_data(run))
+        return 0
     print(run.summary_line)
     print()
     print(format_table(
@@ -178,6 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_points = sub.add_parser(
         "points", help="list the grid points, keys and cache status")
     _add_spec_arguments(p_points)
+    _add_format_argument(p_points)
     p_points.set_defaults(func=_cmd_points)
 
     p_run = sub.add_parser("run", help="run or resume a campaign")
@@ -193,11 +253,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_summary = sub.add_parser(
         "summary", help="print stored metrics for a campaign")
     _add_spec_arguments(p_summary)
+    _add_format_argument(p_summary)
     p_summary.set_defaults(func=_cmd_summary)
 
     p_pareto = sub.add_parser(
         "pareto", help="extract the Pareto front over two metrics")
     _add_spec_arguments(p_pareto)
+    _add_format_argument(p_pareto)
     p_pareto.add_argument("--x", default="cycles", choices=sorted(METRICS),
                           help="first objective (default: cycles)")
     p_pareto.add_argument("--y", default="energy", choices=sorted(METRICS),
@@ -228,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-evaluate points already in the store")
     p_sim.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress lines")
+    _add_format_argument(p_sim)
     p_sim.set_defaults(func=_cmd_sim)
     return parser
 

@@ -6,6 +6,11 @@ expensive sparsity profile) tend to land on the same worker.  Workers
 only compute; the parent process owns the result store and appends
 records as results stream back, so resuming an interrupted campaign
 re-evaluates only the missing points.
+
+Points carry their evaluation backend (:mod:`repro.eval`), and records
+land in per-backend stores: model-backed points go to the campaign's
+store, simulator-backed points to a sibling namespace under the same
+root keyed by the simulator's source fingerprint.
 """
 
 from __future__ import annotations
@@ -15,50 +20,84 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Generic, Protocol, TypeVar, cast
 
-from repro.accelerators.base import NetworkEvaluation
-from repro.dse.records import evaluation_from_dict, evaluation_to_dict, make_record
+from repro.dse.records import make_record, result_from_dict, result_to_dict
 from repro.dse.spec import CampaignSpec, EvalPoint
-from repro.dse.store import ResultStore
+from repro.dse.store import ResultStore, StoreRouter
+from repro.eval.registry import get_backend
+from repro.eval.result import EvalResult
 
 #: ``progress(done, total, label, *, cached, elapsed_s)``
 ProgressFn = Callable[..., None]
 
 
-def evaluate_point(point: EvalPoint) -> NetworkEvaluation:
-    """Evaluate one grid point (STEP1-STEP4 for every layer)."""
+class CampaignPoint(Protocol):
+    """What the shared driver needs from a grid point."""
+
+    @property
+    def label(self) -> str: ...
+
+    def key(self) -> str: ...
+
+    def to_dict(self) -> dict[str, Any]: ...
+
+
+class NamedSpec(Protocol):
+    """What a run needs from its campaign spec."""
+
+    @property
+    def name(self) -> str: ...
+
+
+PointT = TypeVar("PointT", bound=CampaignPoint)
+ResultT = TypeVar("ResultT")
+
+
+def evaluate_point(point: EvalPoint) -> EvalResult:
+    """Evaluate one grid point through its backend (no caching)."""
     return point.evaluate()
 
 
 def _worker(point: EvalPoint) -> tuple[str, dict[str, Any], float]:
     start = time.perf_counter()
-    evaluation = evaluate_point(point)
-    return point.key(), evaluation_to_dict(evaluation), time.perf_counter() - start
+    result = evaluate_point(point)
+    return point.key(), result_to_dict(result), time.perf_counter() - start
 
 
 @dataclass
-class CampaignRun:
-    """Outcome of one :func:`run_campaign` invocation."""
+class CampaignRun(Generic[PointT, ResultT]):
+    """Outcome of one campaign-driver invocation.
 
-    spec: CampaignSpec
+    Shared by the evaluation grids (``CampaignRun[EvalPoint,
+    EvalResult]``) and the sim-validation campaigns (``CampaignRun[
+    SimPoint, dict]``); the type parameters keep each caller's
+    ``results`` payload checked.
+    """
+
+    spec: NamedSpec
     store_path: Path
-    points: list[EvalPoint]
+    points: list[PointT]
     total: int = 0
     cached: int = 0
     evaluated: int = 0
     #: Evaluations whose records could not be written (store down).
     persist_failures: int = 0
-    #: config-hash key -> deserialized/computed evaluation, all points.
-    results: dict[str, NetworkEvaluation] = field(default_factory=dict)
+    #: config-hash key -> deserialized/computed result, all points.
+    results: dict[str, ResultT] = field(default_factory=dict)
 
-    def result_for(self, point: EvalPoint) -> NetworkEvaluation:
+    def result_for(self, point: PointT) -> ResultT:
         return self.results[point.key()]
 
-    def grid(self) -> dict[tuple[str, str], NetworkEvaluation]:
-        """``(config label, network) -> evaluation`` for every point."""
+    def grid(self) -> dict[tuple[str, str], ResultT]:
+        """``(config label, network) -> result`` (evaluation grids)."""
+        if self.points and not isinstance(self.points[0], EvalPoint):
+            raise TypeError(
+                f"grid() is defined for evaluation-grid runs; this run's "
+                f"points are {type(self.points[0]).__name__}")
         return {
-            (point.config_label, point.network): self.result_for(point)
+            (cast(EvalPoint, point).config_label,
+             cast(EvalPoint, point).network): self.result_for(point)
             for point in self.points
         }
 
@@ -82,29 +121,30 @@ def resolve_jobs(jobs: int) -> int:
 
 
 def drive_points(
-    points,
-    run,
-    store,
+    points: list[PointT],
+    run: CampaignRun[PointT, ResultT],
     *,
     jobs: int,
-    worker: Callable,
-    cached_result: Callable,
-    make_record: Callable,
-    decode_result: Callable,
+    worker: Callable[[PointT], tuple[str, Any, float]],
+    cached_result: Callable[[PointT], ResultT | None],
+    make_point_record: Callable[[PointT, Any, float], dict[str, Any]],
+    decode_result: Callable[[Any], ResultT],
+    store_for: Callable[[PointT], ResultStore],
     force: bool = False,
     chunksize: int | None = None,
     progress: ProgressFn | None = None,
 ) -> None:
     """Shared campaign driver: cache scan, pool fan-out, store commits.
 
-    Used by both the analytical grid (:func:`run_campaign`) and the
+    Used by both the evaluation grid (:func:`run_campaign`) and the
     sim-validation campaign (:mod:`repro.dse.simcampaign`) so resume and
     persistence semantics cannot diverge.  Parameterized by:
 
-    - ``worker(point) -> (key, result_dict, elapsed_s)`` -- pool task;
-    - ``cached_result(store, key)`` -- decoded stored value or ``None``;
-    - ``make_record(point, result_dict, elapsed_s)`` -- store record;
-    - ``decode_result(result_dict)`` -- worker payload to stored value.
+    - ``worker(point) -> (key, result_payload, elapsed_s)`` -- pool task;
+    - ``cached_result(point)`` -- decoded stored value or ``None``;
+    - ``make_point_record(point, payload, elapsed_s)`` -- store record;
+    - ``decode_result(payload)`` -- worker payload to stored value;
+    - ``store_for(point)`` -- the store a point's record lands in.
 
     ``run`` accumulates ``results``/``cached``/``evaluated``/
     ``persist_failures`` in place.  The parent process owns all store
@@ -116,7 +156,7 @@ def drive_points(
     pending = []
     done = 0
     for point in points:
-        result = None if force else cached_result(store, point.key())
+        result = None if force else cached_result(point)
         if result is not None:
             run.results[point.key()] = result
             run.cached += 1
@@ -129,19 +169,20 @@ def drive_points(
 
     store_down = False
 
-    def commit(key: str, result: dict[str, Any], elapsed: float) -> None:
+    def commit(key: str, payload: Any, elapsed: float) -> None:
         nonlocal done, store_down
         point = by_key[key]
         if store_down:
             run.persist_failures += 1
         else:
             try:
-                store.put(key, make_record(point, result, elapsed))
+                store_for(point).put(
+                    key, make_point_record(point, payload, elapsed))
             except OSError:
                 # An unwritable store costs persistence, not the run.
                 store_down = True
                 run.persist_failures += 1
-        run.results[key] = decode_result(result)
+        run.results[key] = decode_result(payload)
         run.evaluated += 1
         done += 1
         if progress is not None:
@@ -156,9 +197,9 @@ def drive_points(
             chunksize = max(1, len(pending) // (jobs * 4))
         workers = min(jobs, len(pending))
         with multiprocessing.Pool(processes=workers) as pool:
-            for key, result, elapsed in pool.imap_unordered(
+            for key, payload, elapsed in pool.imap_unordered(
                     worker, pending, chunksize=chunksize):
-                commit(key, result, elapsed)
+                commit(key, payload, elapsed)
 
 
 def run_campaign(
@@ -169,26 +210,33 @@ def run_campaign(
     chunksize: int | None = None,
     force: bool = False,
     progress: ProgressFn | None = None,
-) -> CampaignRun:
+) -> CampaignRun[EvalPoint, EvalResult]:
     """Run (or resume) a campaign; returns the full result grid.
 
-    Points whose key already exists in ``store`` are served from disk
-    unless ``force`` re-evaluates them.  ``jobs > 1`` evaluates the
-    pending points on a process pool; ``jobs=0`` uses every CPU.
+    Points whose key already exists in their backend's store are served
+    from disk unless ``force`` re-evaluates them.  ``jobs > 1``
+    evaluates the pending points on a process pool; ``jobs=0`` uses
+    every CPU.  ``store`` holds the model-backed records; points on
+    other backends persist next to it under the backend's own
+    fingerprint namespace.
     """
     spec.validate()
     if store is None:
         store = ResultStore()
     points = spec.points()
-    run = CampaignRun(spec=spec, store_path=store.path, points=points,
-                      total=len(points))
+    run: CampaignRun[EvalPoint, EvalResult] = CampaignRun(
+        spec=spec, store_path=store.path, points=points, total=len(points))
+    router = StoreRouter(store)
     drive_points(
-        points, run, store,
+        points, run,
         jobs=jobs,
         worker=_worker,
-        cached_result=lambda st, key: st.evaluation(key),
-        make_record=make_record,
-        decode_result=evaluation_from_dict,
+        cached_result=router.result,
+        make_point_record=lambda point, payload, elapsed: make_record(
+            point, payload, elapsed,
+            fingerprint=get_backend(point.backend).fingerprint()),
+        decode_result=result_from_dict,
+        store_for=router.for_point,
         force=force,
         chunksize=chunksize,
         progress=progress,

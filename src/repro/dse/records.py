@@ -1,80 +1,79 @@
 """JSON (de)serialization of evaluation results.
 
-The result store persists :class:`repro.accelerators.base.NetworkEvaluation`
-objects as JSON records.  Every numeric field is a Python float/int, and
+The result store persists canonical :class:`repro.eval.EvalResult`
+objects (one schema for every backend -- analytical model and
+simulator alike).  Every numeric field is a Python float/int, and
 ``json`` round-trips floats exactly (shortest-repr), so a deserialized
-evaluation is bit-identical to the freshly computed one -- the property
+result is bit-identical to the freshly computed one -- the property
 the harness-equivalence tests pin.
+
+The legacy ``evaluation_to_dict`` / ``evaluation_from_dict`` helpers
+remain as thin converters between the canonical schema and the old
+:class:`repro.accelerators.base.NetworkEvaluation` object.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import asdict
-from typing import Any, Mapping
+from typing import Any, Mapping, Protocol
 
-from repro.accelerators.base import LayerEvaluation, NetworkEvaluation
-from repro.dse.spec import EvalPoint, code_fingerprint
-from repro.model.energy import EnergyBreakdown
-from repro.model.latency import LatencyBreakdown
-from repro.model.zigzag import ActivityCounts
+from repro.accelerators.base import NetworkEvaluation
+from repro.eval.fingerprints import code_fingerprint
+from repro.eval.result import (
+    EvalResult,
+    from_network_evaluation,
+    to_network_evaluation,
+)
 
 #: Bump when the record layout changes.
-RECORD_VERSION = 1
+RECORD_VERSION = 2
+
+
+class _Keyed(Protocol):
+    """What a record needs from its evaluation point / request."""
+
+    def key(self) -> str: ...
+
+    def to_dict(self) -> dict[str, Any]: ...
+
+
+def result_to_dict(result: EvalResult) -> dict[str, Any]:
+    return result.to_dict()
+
+
+def result_from_dict(data: Mapping[str, Any]) -> EvalResult:
+    return EvalResult.from_dict(data)
 
 
 def evaluation_to_dict(evaluation: NetworkEvaluation) -> dict[str, Any]:
-    return {
-        "accelerator": evaluation.accelerator,
-        "network": evaluation.network,
-        "layers": [
-            {
-                "layer": layer.layer,
-                "su_name": layer.su_name,
-                "counts": asdict(layer.counts),
-                "latency": asdict(layer.latency),
-                "energy": asdict(layer.energy),
-            }
-            for layer in evaluation.layers
-        ],
-    }
+    """Legacy-object convenience: canonical dict of an old evaluation."""
+    return from_network_evaluation(evaluation).to_dict()
 
 
 def evaluation_from_dict(data: Mapping[str, Any]) -> NetworkEvaluation:
-    layers = [
-        LayerEvaluation(
-            layer=entry["layer"],
-            su_name=entry["su_name"],
-            counts=ActivityCounts(**entry["counts"]),
-            latency=LatencyBreakdown(**entry["latency"]),
-            energy=EnergyBreakdown(**entry["energy"]),
-        )
-        for entry in data["layers"]
-    ]
-    return NetworkEvaluation(
-        accelerator=data["accelerator"],
-        network=data["network"],
-        layers=layers,
-    )
+    """Reconstruct the legacy object from a canonical result dict."""
+    return to_network_evaluation(EvalResult.from_dict(data))
 
 
 def make_record(
-    point: EvalPoint,
-    evaluation: NetworkEvaluation | Mapping[str, Any],
+    point: _Keyed,
+    result: EvalResult | Mapping[str, Any],
     elapsed_s: float | None = None,
+    fingerprint: str | None = None,
 ) -> dict[str, Any]:
-    """Assemble one store record for ``point``'s result."""
-    result = (
-        evaluation_to_dict(evaluation)
-        if isinstance(evaluation, NetworkEvaluation)
-        else dict(evaluation)
-    )
+    """Assemble one store record for ``point``'s result.
+
+    ``fingerprint`` defaults to the analytical-model digest; backends
+    with their own source fingerprint (the simulator) pass theirs.
+    """
+    payload = (result.to_dict() if isinstance(result, EvalResult)
+               else dict(result))
     return {
         "version": RECORD_VERSION,
         "key": point.key(),
         "point": point.to_dict(),
-        "fingerprint": code_fingerprint(),
+        "fingerprint": fingerprint or code_fingerprint(),
         "created_at": time.time(),
         "elapsed_s": elapsed_s,
-        "result": result,
+        "result": payload,
     }

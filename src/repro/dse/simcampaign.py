@@ -1,19 +1,20 @@
 """Sim-backed validation campaigns: sweep simulator configs in parallel.
 
 The second campaign axis of the DSE engine.  Where :mod:`repro.dse.spec`
-grids sweep the *analytical model* over accelerators x networks, a sim
-campaign sweeps the *structural simulator* configuration -- group size,
-kernel/spatial unrolls, datapath backend -- and runs the Section V-B
-validation suite (:mod:`repro.experiments.validation_sim_vs_model`) at
-every point, recording per-layer simulated/analytic cycles and the
+grids sweep evaluation *requests* (workload x accelerator x backend), a
+sim campaign sweeps the *structural simulator* configuration -- group
+size, kernel/spatial unrolls, datapath backend -- and runs the Section
+V-B validation suite (:mod:`repro.experiments.validation_sim_vs_model`)
+at every point, recording per-layer simulated/analytic cycles and the
 model deviation.  Before the vectorized datapath this was impractical:
 one reference-backend suite pass costs more than an entire vectorized
 campaign.
 
-Results persist in the same :class:`repro.dse.store.ResultStore`
-machinery, namespaced by a *simulator* code fingerprint (the store's
-default fingerprint tracks the analytical model, not :mod:`repro.sim`),
-so editing the datapath invalidates stale sim records automatically.
+Results persist through the same :class:`repro.dse.store.ResultStore` +
+:func:`repro.dse.executor.drive_points` machinery as evaluation grids
+(shared :class:`~repro.dse.executor.CampaignRun`, shared record
+assembly), namespaced by a *validation-suite* fingerprint so editing
+the datapath invalidates stale sim records automatically.
 
 CLI: ``python -m repro.dse sim --group-sizes 4,8 --oxus 8,16 --jobs 4``.
 """
@@ -22,33 +23,35 @@ from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
-from repro.dse.spec import config_hash
+from repro.dse.executor import CampaignRun, drive_points
+from repro.dse.records import RECORD_VERSION, make_record
 from repro.dse.store import ResultStore
+from repro.eval.request import config_hash
 from repro.experiments import validation_sim_vs_model
 from repro.sim.npu import BACKENDS
 
 #: Bump when the meaning of a sim point's fields changes.
 SIM_SPEC_VERSION = 1
 
-#: Record layout version for sim-validation store entries.
-SIM_RECORD_VERSION = 1
-
 #: Discriminator stored in every sim point/record.
 SIM_KIND = "sim-validation"
+
+#: Kept as an alias: sim campaigns share the generic run object now.
+SimCampaignRun = CampaignRun
 
 
 @lru_cache(maxsize=1)
 def sim_code_fingerprint() -> str:
     """Digest of the simulator + validation-suite source.
 
-    The analogue of :func:`repro.dse.spec.code_fingerprint` for sim
-    campaigns: records are only valid for the datapath and suite that
-    produced them.
+    The analogue of :func:`repro.eval.fingerprints.code_fingerprint`
+    for sim campaigns: records are only valid for the datapath and
+    suite that produced them.
     """
     import repro.sim
 
@@ -167,56 +170,14 @@ class SimCampaignSpec:
         return points
 
 
-def make_sim_record(point: SimPoint, result: Mapping[str, Any],
-                    elapsed_s: float | None = None) -> dict[str, Any]:
-    return {
-        "version": SIM_RECORD_VERSION,
-        "key": point.key(),
-        "point": point.to_dict(),
-        "fingerprint": sim_code_fingerprint(),
-        "created_at": time.time(),
-        "elapsed_s": elapsed_s,
-        "result": dict(result),
-    }
-
-
 def stored_sim_result(store: ResultStore, key: str) -> dict[str, Any] | None:
     """The persisted suite result for ``key``, if layout-compatible."""
     record = store.get(key)
-    if record is None or record.get("version") != SIM_RECORD_VERSION:
+    if record is None or record.get("version") != RECORD_VERSION:
         return None
     if record.get("point", {}).get("kind") != SIM_KIND:
         return None
-    return record["result"]
-
-
-@dataclass
-class SimCampaignRun:
-    """Outcome of one :func:`run_sim_campaign` invocation."""
-
-    spec: SimCampaignSpec
-    store_path: Path
-    points: list[SimPoint]
-    total: int = 0
-    cached: int = 0
-    evaluated: int = 0
-    persist_failures: int = 0
-    #: config-hash key -> suite result dict, all points.
-    results: dict[str, dict[str, Any]] = field(default_factory=dict)
-
-    def result_for(self, point: SimPoint) -> dict[str, Any]:
-        return self.results[point.key()]
-
-    @property
-    def summary_line(self) -> str:
-        line = (
-            f"sim campaign {self.spec.name}: total={self.total} "
-            f"cached={self.cached} evaluated={self.evaluated} "
-            f"store={self.store_path}"
-        )
-        if self.persist_failures:
-            line += f" (WARNING: {self.persist_failures} results not persisted)"
-        return line
+    return dict(record["result"])
 
 
 def _sim_worker(point: SimPoint) -> tuple[str, dict[str, Any], float]:
@@ -231,30 +192,31 @@ def run_sim_campaign(
     *,
     jobs: int = 1,
     force: bool = False,
-    progress=None,
-) -> SimCampaignRun:
+    progress: Any = None,
+) -> "CampaignRun[SimPoint, dict[str, Any]]":
     """Run (or resume) a sim-validation campaign over a process pool.
 
-    Shares the :func:`repro.dse.executor.drive_points` driver with the
-    analytical grid: cached points are served from the store, pending
+    Shares the :func:`repro.dse.executor.drive_points` driver and the
+    :class:`~repro.dse.executor.CampaignRun` result object with the
+    evaluation grids: cached points are served from the store, pending
     points fan out over ``jobs`` workers (``0`` = all CPUs), and the
     parent process owns all store writes.
     """
-    from repro.dse.executor import drive_points
-
     spec.validate()
     if store is None:
         store = sim_store()
     points = spec.points()
-    run = SimCampaignRun(spec=spec, store_path=store.path, points=points,
-                         total=len(points))
+    run: CampaignRun[SimPoint, dict[str, Any]] = CampaignRun(
+        spec=spec, store_path=store.path, points=points, total=len(points))
     drive_points(
-        points, run, store,
+        points, run,
         jobs=jobs,
         worker=_sim_worker,
-        cached_result=stored_sim_result,
-        make_record=make_sim_record,
-        decode_result=lambda result: result,
+        cached_result=lambda point: stored_sim_result(store, point.key()),
+        make_point_record=lambda point, payload, elapsed: make_record(
+            point, payload, elapsed, fingerprint=sim_code_fingerprint()),
+        decode_result=lambda payload: payload,
+        store_for=lambda point: store,
         force=force,
         chunksize=1,
         progress=progress,
@@ -262,7 +224,8 @@ def run_sim_campaign(
     return run
 
 
-def sim_summary_rows(run: SimCampaignRun) -> list[Sequence[Any]]:
+def sim_summary_rows(
+        run: "CampaignRun[SimPoint, dict[str, Any]]") -> list[Sequence[Any]]:
     """Table rows summarizing a sim campaign (one row per point)."""
     rows = []
     for point in run.points:
@@ -274,3 +237,19 @@ def sim_summary_rows(run: SimCampaignRun) -> list[Sequence[Any]]:
             f"{100 * result['max_deviation']:.2f}%",
         ])
     return rows
+
+
+def sim_summary_data(
+        run: "CampaignRun[SimPoint, dict[str, Any]]") -> list[dict[str, Any]]:
+    """JSON-able summary (one entry per point), for ``--format json``."""
+    entries = []
+    for point in run.points:
+        result = run.result_for(point)
+        entries.append({
+            "point": point.to_dict(),
+            "label": point.label,
+            "layers": result["layers"],
+            "total_simulated_cycles": result["total_simulated_cycles"],
+            "max_deviation": result["max_deviation"],
+        })
+    return entries

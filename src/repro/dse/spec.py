@@ -4,17 +4,20 @@ A campaign is the cross product the paper's headline figures are built
 from -- accelerators x networks, plus the BitWave ablation ladder
 (dataflow / column / bit-flip variants, which double as the sparsity
 profile axis: ``+DF+SM+BF`` evaluates against the bit-flipped weight
-statistics).  Every point in the grid hashes to a stable key so results
+statistics) -- optionally crossed with the evaluation *backend* axis
+(:mod:`repro.eval`): the analytical model and the structural-simulator
+datapaths.  Every point in the grid hashes to a stable key so results
 can be persisted, shared across processes, and resumed incrementally.
+
+Networks may be parametrized (``"bert_base@tokens=128"``), so token
+sweeps are ordinary campaign points.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import re
 from dataclasses import dataclass
-from functools import lru_cache
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
@@ -24,66 +27,35 @@ from repro.accelerators import (
     build_accelerator,
     build_bitwave_variant,
 )
-from repro.accelerators.base import Accelerator, NetworkEvaluation
-from repro.workloads.nets import NETWORKS
+from repro.accelerators.base import Accelerator
+from repro.eval.fingerprints import code_fingerprint  # noqa: F401  (re-export)
+from repro.eval.registry import backend_names, get_backend
+from repro.eval.request import MODEL_BACKEND, config_hash  # noqa: F401
+from repro.eval.request import FULL_BITWAVE_VARIANT, EvalRequest
+from repro.eval.result import EvalResult
+from repro.workloads.nets import parse_network
 
 #: Bump when the meaning of a point's fields changes (keys include it).
-SPEC_VERSION = 1
-
-#: The ablation rung equal to ``BitWave()``'s constructor defaults.
-FULL_BITWAVE_VARIANT = "+DF+SM+BF"
+SPEC_VERSION = 2
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 
-def config_hash(config: Mapping[str, Any]) -> str:
-    """Stable 16-hex-char digest of a JSON-serializable config mapping.
-
-    Canonical JSON (sorted keys, tight separators) makes the digest
-    independent of dict insertion order, process, and
-    ``PYTHONHASHSEED``.
-    """
-    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
-
-
-@lru_cache(maxsize=1)
-def code_fingerprint() -> str:
-    """Digest of the model/accelerator source feeding an evaluation.
-
-    Persisted results are only valid for the code that produced them;
-    the store namespaces its files by this fingerprint so editing the
-    analytical model invalidates stale caches automatically instead of
-    silently serving results from an older model.
-    """
-    import repro.accelerators
-    import repro.core
-    import repro.model
-    import repro.sparsity
-    import repro.workloads
-
-    digest = hashlib.sha256()
-    for package in (repro.model, repro.accelerators, repro.sparsity,
-                    repro.workloads, repro.core):
-        root = Path(package.__file__).parent
-        for path in sorted(root.rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode("utf-8"))
-            digest.update(path.read_bytes())
-    return digest.hexdigest()[:12]
-
-
 @dataclass(frozen=True)
 class EvalPoint:
-    """One (accelerator configuration, network) evaluation in a grid.
+    """One (accelerator configuration, network, backend) grid point.
 
     ``variant`` selects a rung of the BitWave ablation ladder
     (:data:`repro.accelerators.BITWAVE_VARIANTS`); when ``None`` the
     point is the fully-enabled comparison build of ``accelerator``.
+    ``backend`` names a registered :class:`repro.eval.EvalBackend`
+    (default: the analytical model).
     """
 
     accelerator: str
     network: str
     variant: str | None = None
+    backend: str = MODEL_BACKEND
 
     def __post_init__(self) -> None:
         # The fully-enabled ablation rung IS the SotA comparison build
@@ -92,44 +64,39 @@ class EvalPoint:
         if self.accelerator == "BitWave" and self.variant == FULL_BITWAVE_VARIANT:
             object.__setattr__(self, "variant", None)
 
+    def request(self) -> EvalRequest:
+        """The :mod:`repro.eval` request this point names."""
+        return EvalRequest(
+            workload=self.network,
+            accelerator=self.accelerator,
+            variant=self.variant,
+            backend=self.backend,
+        )
+
     def validate(self) -> None:
-        if self.network not in NETWORKS:
-            raise ValueError(
-                f"unknown network {self.network!r}; one of {NETWORKS}")
-        if self.variant is None:
-            if self.accelerator not in SOTA_ACCELERATORS:
-                raise ValueError(
-                    f"unknown accelerator {self.accelerator!r}; "
-                    f"one of {SOTA_ACCELERATORS}")
-        else:
-            if self.accelerator != "BitWave":
-                raise ValueError(
-                    f"variants are BitWave ablations; got "
-                    f"accelerator={self.accelerator!r}")
-            if self.variant not in BITWAVE_VARIANTS:
-                raise ValueError(
-                    f"unknown BitWave variant {self.variant!r}; "
-                    f"one of {BITWAVE_VARIANTS}")
+        self.request().validate()
 
     @property
     def config_label(self) -> str:
-        """Display label for the accelerator configuration axis."""
-        if self.variant is None:
-            return self.accelerator
-        return f"BitWave[{self.variant}]"
+        """Display label for the accelerator-configuration axis."""
+        return self.request().config_label
 
     @property
     def label(self) -> str:
         return f"{self.config_label}/{self.network}"
 
     def build(self) -> Accelerator:
+        """The modelled accelerator instance (model-backend points)."""
         self.validate()
         if self.variant is None:
             return build_accelerator(self.accelerator)
         return build_bitwave_variant(self.variant)
 
-    def evaluate(self) -> NetworkEvaluation:
-        return self.build().evaluate_network(self.network)
+    def evaluate(self) -> EvalResult:
+        """Compute (never cache) this point through its backend."""
+        request = self.request()
+        request.validate()
+        return get_backend(self.backend).evaluate(request)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -137,6 +104,7 @@ class EvalPoint:
             "accelerator": self.accelerator,
             "network": self.network,
             "variant": self.variant,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -145,21 +113,24 @@ class EvalPoint:
             accelerator=data["accelerator"],
             network=data["network"],
             variant=data.get("variant"),
+            backend=data.get("backend", MODEL_BACKEND),
         )
 
     def key(self) -> str:
-        """Stable result-store key for this configuration."""
-        return config_hash(self.to_dict())
+        """Stable result-store key (shared with :mod:`repro.eval`)."""
+        return self.request().key()
 
 
 def _check_subset(kind: str, values: Sequence[str],
-                  valid: Sequence[str]) -> None:
+                  valid: Sequence[str] | None) -> None:
     seen: set[str] = set()
     for value in values:
         if value in seen:
             raise ValueError(f"duplicate {kind} {value!r} in campaign")
         seen.add(value)
-        if value not in valid:
+        if valid is None:
+            parse_network(value)  # networks: registry + parameters
+        elif value not in valid:
             raise ValueError(
                 f"unknown {kind} {value!r}; one of {tuple(valid)}")
 
@@ -171,25 +142,33 @@ class CampaignSpec:
     ``accelerators`` x ``networks`` gives the Fig. 14/15/17 comparison
     points; ``variants`` x ``networks`` adds the Fig. 13 BitWave
     ablation points.  Either axis may be empty (but not both).
+    ``backends`` crosses the grid with evaluation backends; simulator
+    backends implement the fully-enabled BitWave datapath only, so they
+    expand against the BitWave accelerator column alone (ablation
+    rungs and other accelerators stay model-backed).
     """
 
     name: str
     accelerators: tuple[str, ...] = ()
     networks: tuple[str, ...] = ()
     variants: tuple[str, ...] = ()
+    backends: tuple[str, ...] = (MODEL_BACKEND,)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "accelerators", tuple(self.accelerators))
         object.__setattr__(self, "networks", tuple(self.networks))
         object.__setattr__(self, "variants", tuple(self.variants))
+        object.__setattr__(self, "backends",
+                           tuple(self.backends) or (MODEL_BACKEND,))
 
     def validate(self) -> None:
         if not self.name or not _NAME_RE.match(self.name):
             raise ValueError(
                 f"campaign name {self.name!r} must match {_NAME_RE.pattern}")
-        _check_subset("network", self.networks, NETWORKS)
+        _check_subset("network", self.networks, None)
         _check_subset("accelerator", self.accelerators, SOTA_ACCELERATORS)
         _check_subset("variant", self.variants, BITWAVE_VARIANTS)
+        _check_subset("backend", self.backends, backend_names())
         if not self.networks:
             raise ValueError("campaign needs at least one network")
         if not self.accelerators and not self.variants:
@@ -204,18 +183,34 @@ class CampaignSpec:
         """
         self.validate()
         points: list[EvalPoint] = []
-        seen: set[str] = set()
-        for network in self.networks:
-            for accelerator in self.accelerators:
-                points.append(EvalPoint(accelerator, network))
-            for variant in self.variants:
-                points.append(EvalPoint("BitWave", network, variant=variant))
+        for backend in self.backends:
+            model = backend == MODEL_BACKEND
+            for network in self.networks:
+                for accelerator in self.accelerators:
+                    if model or accelerator == "BitWave":
+                        points.append(EvalPoint(
+                            accelerator, network, backend=backend))
+                if model:
+                    for variant in self.variants:
+                        points.append(EvalPoint(
+                            "BitWave", network, variant=variant))
         unique = []
+        seen: set[str] = set()
         for point in points:
             key = point.key()
             if key not in seen:
                 seen.add(key)
                 unique.append(point)
+        if not unique:
+            # Reachable despite validate(): simulator backends expand
+            # against BitWave only, so e.g. accelerators=(SCNN,) with
+            # backends=(sim-vectorized,) filters to nothing.  A 0-point
+            # campaign that "succeeds" hides that mistake.
+            raise ValueError(
+                f"campaign {self.name!r} expands to zero points: "
+                f"simulator backends evaluate only the fully-enabled "
+                f"BitWave accelerator -- add 'BitWave' to accelerators "
+                f"or include the 'model' backend")
         return unique
 
     def to_dict(self) -> dict[str, Any]:
@@ -225,6 +220,7 @@ class CampaignSpec:
             "accelerators": list(self.accelerators),
             "networks": list(self.networks),
             "variants": list(self.variants),
+            "backends": list(self.backends),
         }
 
     @classmethod
@@ -234,6 +230,7 @@ class CampaignSpec:
             accelerators=tuple(data.get("accelerators", ())),
             networks=tuple(data.get("networks", ())),
             variants=tuple(data.get("variants", ())),
+            backends=tuple(data.get("backends", (MODEL_BACKEND,))),
         )
 
     def to_json(self, path: str | Path) -> None:
@@ -249,6 +246,8 @@ class CampaignSpec:
 def paper_grid(name: str = "paper-grid") -> CampaignSpec:
     """The full headline grid: all SotA accelerators, all networks, and
     the complete BitWave ablation ladder (Figs. 13-17)."""
+    from repro.workloads.nets import NETWORKS
+
     return CampaignSpec(
         name=name,
         accelerators=SOTA_ACCELERATORS,

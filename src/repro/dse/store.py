@@ -21,8 +21,13 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping
 
 from repro.accelerators.base import NetworkEvaluation
-from repro.dse.records import RECORD_VERSION, evaluation_from_dict
-from repro.dse.spec import code_fingerprint
+from repro.dse.records import (
+    RECORD_VERSION,
+    evaluation_from_dict,
+    result_from_dict,
+)
+from repro.eval.fingerprints import code_fingerprint
+from repro.eval.result import EvalResult
 
 #: Environment variable overriding the default store root.
 DEFAULT_ROOT_ENV = "REPRO_DSE_STORE"
@@ -124,8 +129,8 @@ class ResultStore:
         return len(self._records)
 
     # -- convenience -----------------------------------------------------
-    def evaluation(self, key: str) -> NetworkEvaluation | None:
-        """Deserialize the stored result for ``key``, if present.
+    def result(self, key: str) -> EvalResult | None:
+        """Deserialize the stored canonical result for ``key``.
 
         Records from an older layout (``version`` mismatch) count as
         misses, so a record-format change re-evaluates instead of
@@ -134,4 +139,50 @@ class ResultStore:
         record = self.get(key)
         if record is None or record.get("version") != RECORD_VERSION:
             return None
-        return evaluation_from_dict(record["result"])
+        payload = record.get("result")
+        if not isinstance(payload, Mapping) or "workload" not in payload:
+            return None  # e.g. a sim-validation suite record
+        return result_from_dict(payload)
+
+    def evaluation(self, key: str) -> NetworkEvaluation | None:
+        """Legacy view of :meth:`result` (model-backed records only)."""
+        record = self.get(key)
+        if record is None or record.get("version") != RECORD_VERSION:
+            return None
+        payload = record.get("result")
+        if not isinstance(payload, Mapping) or "workload" not in payload:
+            return None  # e.g. a sim-validation suite record
+        if payload.get("backend", "model") != "model":
+            return None  # no analytical breakdown to reconstruct
+        return evaluation_from_dict(payload)
+
+
+class StoreRouter:
+    """Routes each evaluation point to its backend's store namespace.
+
+    Model-backed records live in the campaign's own store; every other
+    backend gets a sibling namespace under the same root, keyed by the
+    backend's source fingerprint -- so a mixed-backend campaign's
+    executor, summaries, and CLI all agree on where records land.
+    """
+
+    def __init__(self, base: ResultStore) -> None:
+        from repro.eval.request import MODEL_BACKEND
+
+        self.base = base
+        self._stores: dict[str, ResultStore] = {MODEL_BACKEND: base}
+
+    def for_backend(self, backend: str) -> ResultStore:
+        if backend not in self._stores:
+            from repro.eval.registry import get_backend
+
+            self._stores[backend] = ResultStore(
+                self.base.root,
+                namespace=get_backend(backend).fingerprint())
+        return self._stores[backend]
+
+    def for_point(self, point: Any) -> ResultStore:
+        return self.for_backend(point.backend)
+
+    def result(self, point: Any) -> EvalResult | None:
+        return self.for_point(point).result(point.key())

@@ -1,31 +1,46 @@
-"""Campaign summarization: metric tables and Pareto-front extraction."""
+"""Campaign summarization: metric tables, JSON rows, Pareto extraction."""
 
 from __future__ import annotations
 
-from typing import Callable, NamedTuple
+from typing import Any, Callable, NamedTuple
 
-from repro.accelerators.base import NetworkEvaluation
 from repro.core.pareto import pareto_front
 from repro.dse.spec import CampaignSpec, EvalPoint
-from repro.dse.store import ResultStore
+from repro.dse.store import ResultStore, StoreRouter
+from repro.eval.result import EvalResult
 from repro.utils.tables import format_table
 
 
 class Metric(NamedTuple):
-    extract: Callable[[NetworkEvaluation], float]
+    """A named summary column / Pareto objective.
+
+    ``extract`` returns ``None`` when the backend does not model the
+    underlying quantity (e.g. energy on the structural simulator), so
+    unmodeled metrics read as *missing* -- never as a best-possible
+    zero or a JSON-hostile infinity.
+    """
+
+    extract: Callable[[EvalResult], float | None]
     maximize: bool
     header: str
+
+
+def _energy_pj(ev: EvalResult) -> float | None:
+    return ev.total_energy_pj if ev.models_energy else None
+
+
+def _tops_per_w(ev: EvalResult) -> float | None:
+    return ev.efficiency_tops_per_w if ev.models_energy else None
 
 
 #: Named metrics usable as summary columns and Pareto objectives.
 METRICS: dict[str, Metric] = {
     "cycles": Metric(lambda ev: ev.total_cycles, False, "cycles"),
-    "energy": Metric(lambda ev: ev.total_energy_pj, False, "energy (pJ)"),
+    "energy": Metric(_energy_pj, False, "energy (pJ)"),
     "runtime": Metric(lambda ev: ev.runtime_s, False, "runtime (s)"),
     "macs": Metric(lambda ev: float(ev.total_macs), True, "MACs"),
     "tops": Metric(lambda ev: ev.effective_tops, True, "eff. TOPS"),
-    "tops_per_w": Metric(
-        lambda ev: ev.efficiency_tops_per_w, True, "TOPS/W"),
+    "tops_per_w": Metric(_tops_per_w, True, "TOPS/W"),
 }
 
 _TABLE_COLUMNS = ("cycles", "energy", "runtime", "tops", "tops_per_w")
@@ -38,17 +53,39 @@ def resolve_metric(name: str) -> Metric:
     return METRICS[name]
 
 
-def summary_table(spec: CampaignSpec, store: ResultStore) -> str:
-    """Per-point metric table; points not yet in the store show ``-``."""
-    rows = []
+def summary_data(spec: CampaignSpec,
+                 store: ResultStore) -> list[dict[str, Any]]:
+    """JSON-able per-point metric rows; missing points carry ``null``s."""
+    router = StoreRouter(store)
+    rows: list[dict[str, Any]] = []
     for point in spec.points():
-        evaluation = store.evaluation(point.key())
-        if evaluation is None:
-            cells = ["-"] * len(_TABLE_COLUMNS) + ["missing"]
+        result = router.result(point)
+        entry: dict[str, Any] = {
+            "key": point.key(),
+            "config": point.config_label,
+            "network": point.network,
+            "backend": point.backend,
+            "stored": result is not None,
+        }
+        for name in _TABLE_COLUMNS:
+            entry[name] = (None if result is None
+                           else METRICS[name].extract(result))
+        rows.append(entry)
+    return rows
+
+
+def summary_table(spec: CampaignSpec, store: ResultStore) -> str:
+    """Per-point metric table; missing points (and metrics the point's
+    backend does not model) show ``-``."""
+    rows = []
+    for entry in summary_data(spec, store):
+        if entry["stored"]:
+            cells = [("-" if entry[name] is None else entry[name])
+                     for name in _TABLE_COLUMNS]
+            cells.append("yes")
         else:
-            cells = [METRICS[name].extract(evaluation)
-                     for name in _TABLE_COLUMNS] + ["yes"]
-        rows.append([point.config_label, point.network, *cells])
+            cells = ["-"] * len(_TABLE_COLUMNS) + ["missing"]
+        rows.append([entry["config"], entry["network"], *cells])
     return format_table(
         ["config", "network",
          *(METRICS[name].header for name in _TABLE_COLUMNS), "stored"],
@@ -67,17 +104,41 @@ def campaign_pareto(
 
     Each objective's sense comes from the metric registry (cycles and
     energy minimize; TOPS/W maximizes).  Points missing from the store
-    are skipped.
+    -- or whose backend does not model one of the objectives -- are
+    skipped rather than ranked on a fictitious value.
     """
     mx, my = resolve_metric(x), resolve_metric(y)
+    router = StoreRouter(store)
     points = []
     for point in spec.points():
-        evaluation = store.evaluation(point.key())
-        if evaluation is None:
+        result = router.result(point)
+        if result is None:
             continue
-        points.append(
-            (mx.extract(evaluation), my.extract(evaluation), point))
+        vx, vy = mx.extract(result), my.extract(result)
+        if vx is None or vy is None:
+            continue
+        points.append((vx, vy, point))
     return pareto_front(points, maximize=(mx.maximize, my.maximize))
+
+
+def pareto_data(
+    spec: CampaignSpec,
+    store: ResultStore,
+    x: str = "cycles",
+    y: str = "energy",
+) -> list[dict[str, Any]]:
+    """JSON-able Pareto front rows over two named metrics."""
+    return [
+        {
+            "key": point.key(),
+            "config": point.config_label,
+            "network": point.network,
+            "backend": point.backend,
+            x: vx,
+            y: vy,
+        }
+        for vx, vy, point in campaign_pareto(spec, store, x, y)
+    ]
 
 
 def pareto_table(

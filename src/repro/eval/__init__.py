@@ -1,0 +1,60 @@
+"""``repro.eval``: one backend-agnostic evaluation API.
+
+The repository has two engines that can answer "what does workload W
+cost on accelerator A": the analytical STEP1-STEP4 model and the
+structural BitWave NPU simulator.  This package is the contract both
+plug into:
+
+- :class:`EvalRequest` -- workload x accelerator/variant x backend x
+  options, hashing to a stable store key;
+- :class:`EvalResult` -- the canonical metrics schema (cycles,
+  energy_pj, macs, per-layer breakdowns, traffic) with
+  ``effective_tops`` / ``efficiency_tops_per_w`` derived uniformly;
+- :class:`EvalBackend` + a registry with three built-ins (``model``,
+  ``sim-vectorized``, ``sim-reference``);
+- :func:`evaluate` -- the single entry point, with store-backed caching
+  keyed by request hash and namespaced by backend source fingerprints.
+
+The DSE campaigns (:mod:`repro.dse`) and the experiment harnesses
+(:mod:`repro.experiments`) are consumers of this API; the legacy
+``Accelerator.evaluate_network`` / ``experiments.common`` entry points
+are deprecation shims over it.
+"""
+
+from repro.eval.api import default_store, eval_store, evaluate, reset_cache
+from repro.eval.fingerprints import code_fingerprint, sim_backend_fingerprint
+from repro.eval.registry import (
+    EvalBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.eval.request import EvalOptions, EvalRequest, config_hash
+from repro.eval.result import (
+    ENERGY_COMPONENTS,
+    EvalResult,
+    LayerResult,
+    from_network_evaluation,
+    to_network_evaluation,
+)
+
+__all__ = [
+    "ENERGY_COMPONENTS",
+    "EvalBackend",
+    "EvalOptions",
+    "EvalRequest",
+    "EvalResult",
+    "LayerResult",
+    "backend_names",
+    "code_fingerprint",
+    "config_hash",
+    "default_store",
+    "eval_store",
+    "evaluate",
+    "from_network_evaluation",
+    "get_backend",
+    "register_backend",
+    "reset_cache",
+    "sim_backend_fingerprint",
+    "to_network_evaluation",
+]

@@ -1,0 +1,106 @@
+"""``evaluate(request) -> EvalResult``: the single evaluation entry point.
+
+Every evaluation round-trips a persistent, fingerprint-namespaced
+result store (memo -> store -> backend compute), so repeated calls --
+including across processes -- are incremental.  A per-process memo on
+top keeps object identity and avoids repeated deserialization.
+
+The store layout is the :class:`repro.dse.store.ResultStore` JSONL
+machinery; each backend gets its own namespace from its source
+fingerprint, so editing the analytical model invalidates model-backed
+results while simulator-backed results (and vice versa) stay warm.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.eval.registry import EvalBackend, get_backend
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.dse
+    from repro.dse.store import ResultStore
+from repro.eval.request import EvalRequest
+from repro.eval.result import EvalResult
+
+#: Per-process memo: (backend name, request key) -> result.
+_MEMO: dict[tuple[str, str], EvalResult] = {}
+#: Per-namespace default stores; ``None`` marks an unusable store
+#: (e.g. a read-only filesystem -- evaluation then skips persistence).
+_STORES: dict[str, "ResultStore | None"] = {}
+
+
+def eval_store(backend: EvalBackend | str,
+               root: "str | Path | None" = None) -> "ResultStore":
+    """A result store namespaced by ``backend``'s source fingerprint."""
+    from repro.dse.store import ResultStore
+
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    return ResultStore(root, namespace=backend.fingerprint())
+
+
+def default_store(backend: EvalBackend) -> "ResultStore | None":
+    """The process-wide store for ``backend``, or ``None`` if broken."""
+    namespace = backend.fingerprint()
+    if namespace not in _STORES:
+        _STORES[namespace] = eval_store(backend)
+    return _STORES[namespace]
+
+
+def reset_cache() -> None:
+    """Drop the per-process memo and store handles (used by tests)."""
+    _MEMO.clear()
+    _STORES.clear()
+
+
+def memoize(request: EvalRequest, result: EvalResult) -> EvalResult:
+    """Install ``result`` as the process-wide answer for ``request``.
+
+    The one place that knows the memo's key layout; used by
+    :func:`evaluate` and by bulk producers (campaign prewarm) handing
+    their results to later single-request calls.
+    """
+    _MEMO[(request.backend, request.key())] = result
+    return result
+
+
+def evaluate(request: EvalRequest,
+             store: "ResultStore | None" = None,
+             *,
+             force: bool = False) -> EvalResult:
+    """Answer ``request`` through memo -> store -> backend compute.
+
+    ``store`` overrides the default fingerprint-namespaced store for
+    this call, for both the read and the write (its records are still
+    keyed by ``request.key()``); explicit-store calls bypass the
+    per-process memo so the given store is really consulted.  ``force``
+    bypasses memo and store reads; the fresh result is still persisted.
+    """
+    from repro.dse.records import make_record
+
+    request.validate()
+    backend = get_backend(request.backend)
+    key = request.key()
+    explicit = store is not None
+    if not explicit:
+        if not force and (request.backend, key) in _MEMO:
+            return _MEMO[(request.backend, key)]
+        store = default_store(backend)
+
+    result = None
+    if store is not None and not force:
+        result = store.result(key)
+    if result is None:
+        result = backend.evaluate(request)
+        if store is not None:
+            record = make_record(request, result,
+                                 fingerprint=backend.fingerprint())
+            try:
+                store.put(key, record)
+            except OSError:
+                if not explicit:  # degrade: stop retrying this namespace
+                    _STORES[backend.fingerprint()] = None
+    if not explicit:
+        memoize(request, result)
+    return result

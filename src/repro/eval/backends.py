@@ -1,0 +1,145 @@
+"""Built-in evaluation backends: the analytical model and the simulator.
+
+- ``model`` answers requests through the STEP1-STEP4 analytical
+  pipeline (:class:`repro.accelerators.base.Accelerator`), for any of
+  the six modelled accelerators and every BitWave ablation rung.
+- ``sim-vectorized`` / ``sim-reference`` lower each workload layer onto
+  a :class:`repro.sim.npu.BitWaveNPU` run (see
+  :mod:`repro.eval.lowering`) -- whole-network layer tables simulated
+  structurally, not just modelled.  Simulator results report cycles and
+  traffic (no energy model) plus, per layer, the matched analytical
+  compute-cycle prediction and its deviation, so every sim-backed
+  result doubles as a Section V-B style model-validation point.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators import build_accelerator, build_bitwave_variant
+from repro.accelerators.base import Accelerator, NetworkEvaluation
+from repro.eval.fingerprints import code_fingerprint, sim_backend_fingerprint
+from repro.eval.lowering import (
+    analytic_compute_cycles,
+    layer_matmul_weights,
+    layer_stats_for_sim,
+    matmul_reduction,
+    model_vs_sim_deviation,
+    simulate_layer,
+)
+from repro.eval.registry import register_backend
+from repro.eval.request import EvalOptions, EvalRequest
+from repro.eval.result import EvalResult, LayerResult, from_network_evaluation
+from repro.sim.npu import BitWaveNPU
+from repro.workloads.nets import network_layers
+
+
+def build_request_accelerator(request: EvalRequest) -> Accelerator:
+    """The accelerator instance a request's configuration names."""
+    if request.variant is None:
+        return build_accelerator(request.accelerator)
+    return build_bitwave_variant(request.variant)
+
+
+def model_network_evaluation(
+    accelerator: Accelerator,
+    workload: str,
+    options: EvalOptions = EvalOptions(),
+) -> NetworkEvaluation:
+    """The analytical pipeline on an accelerator *instance*.
+
+    This is the computation formerly inlined in
+    ``Accelerator.evaluate_network`` (now a deprecation shim over this
+    function); instance-level entry so ad-hoc accelerator builds that
+    have no registry name still evaluate through ``repro.eval``.
+    """
+    specs = network_layers(workload, batch=options.batch)
+    return accelerator.evaluate_workload(
+        specs, accelerator.layer_stats(workload), workload)
+
+
+class ModelBackend:
+    """The analytical STEP1-STEP4 model as an :class:`EvalBackend`."""
+
+    name = "model"
+
+    def fingerprint(self) -> str:
+        return code_fingerprint()
+
+    def evaluate(self, request: EvalRequest) -> EvalResult:
+        request.validate()
+        evaluation = model_network_evaluation(
+            build_request_accelerator(request), request.workload,
+            request.options)
+        return from_network_evaluation(evaluation, backend=self.name)
+
+
+class SimBackend:
+    """One structural-simulator datapath as an :class:`EvalBackend`."""
+
+    def __init__(self, datapath: str) -> None:
+        self.datapath = datapath
+        self.name = f"sim-{datapath}"
+
+    def fingerprint(self) -> str:
+        return sim_backend_fingerprint()
+
+    def evaluate(self, request: EvalRequest) -> EvalResult:
+        request.validate()
+        options = request.options
+        layers = []
+        for spec in network_layers(request.workload, batch=options.batch):
+            npu = BitWaveNPU(
+                group_size=options.sim_group_size,
+                ku=options.sim_ku,
+                oxu=options.sim_oxu,
+                backend=self.datapath,
+            )
+            weights = layer_matmul_weights(spec)
+            run = simulate_layer(spec, npu,
+                                 max_contexts=options.sim_max_contexts,
+                                 weights=weights)
+            stats = layer_stats_for_sim(spec, options.sim_group_size,
+                                        weights=weights)
+            analytic = analytic_compute_cycles(
+                stats,
+                k=spec.k,
+                reduction=matmul_reduction(spec),
+                rows=run.total_rows,
+                group_size=options.sim_group_size,
+                ku=options.sim_ku,
+                oxu=options.sim_oxu,
+            )
+            deviation = model_vs_sim_deviation(run.compute_cycles, analytic)
+            layers.append(LayerResult(
+                name=spec.name,
+                macs=spec.macs,
+                cycles=float(run.total_cycles),
+                energy_pj=0.0,
+                energy={},
+                traffic={
+                    "weight_bits_fetched": float(run.weight_bits_fetched),
+                    "dense_weight_bits": float(run.dense_weight_bits),
+                    "act_words_fetched": float(run.act_words),
+                },
+                detail={
+                    "kind": spec.kind,
+                    "compute_cycles": run.compute_cycles,
+                    "fetch_cycles": run.fetch_cycles,
+                    "column_ops": run.column_ops,
+                    "analytic_cycles": analytic,
+                    "model_deviation": deviation,
+                    "simulated_rows": run.simulated_rows,
+                    "total_rows": run.total_rows,
+                },
+            ))
+        return EvalResult(
+            workload=request.workload,
+            config_label=request.config_label,
+            backend=self.name,
+            layers=tuple(layers),
+        )
+
+
+#: Built-in backends, registered at import.
+MODEL_BACKEND_INSTANCE = register_backend(ModelBackend())
+SIM_VECTORIZED_BACKEND = register_backend(SimBackend("vectorized"))
+SIM_REFERENCE_BACKEND = register_backend(SimBackend("reference"))

@@ -1,0 +1,58 @@
+"""Source fingerprints namespacing the persistent result store.
+
+Persisted results are only valid for the code that produced them; each
+backend namespaces its store files by a digest of exactly the source
+feeding its numbers, so editing the analytical model (or the simulator
+datapath) invalidates that backend's stale caches automatically instead
+of silently serving results from an older implementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from pathlib import Path
+from types import ModuleType
+
+
+def _digest_tree(digest: "hashlib._Hash", package: ModuleType) -> None:
+    root = Path(package.__file__).parent  # type: ignore[arg-type]
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(path.read_bytes())
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of the model/accelerator source feeding an evaluation."""
+    import repro.accelerators
+    import repro.core
+    import repro.model
+    import repro.sparsity
+    import repro.workloads
+
+    digest = hashlib.sha256()
+    for package in (repro.model, repro.accelerators, repro.sparsity,
+                    repro.workloads, repro.core):
+        _digest_tree(digest, package)
+    return digest.hexdigest()[:12]
+
+
+@lru_cache(maxsize=1)
+def sim_backend_fingerprint() -> str:
+    """Digest of the source feeding simulator-backed evaluations.
+
+    Covers the structural datapath, the workload tables and synthetic
+    weights it streams, the sparsity statistics behind the deviation
+    metrics, and the lowering itself.
+    """
+    import repro.eval.lowering
+    import repro.sim
+    import repro.sparsity
+    import repro.workloads
+
+    digest = hashlib.sha256()
+    for package in (repro.sim, repro.workloads, repro.sparsity):
+        _digest_tree(digest, package)
+    digest.update(Path(repro.eval.lowering.__file__).read_bytes())
+    return "simnet-" + digest.hexdigest()[:12]

@@ -1,0 +1,177 @@
+"""Lowering workload layers onto the structural BitWave NPU.
+
+The simulator executes matmuls: an FC layer runs directly, and every
+convolution lowers to its im2col matrix (the layout
+:func:`repro.workloads.synthetic.synthetic_weights` already uses).
+This module turns a :class:`repro.workloads.spec.LayerSpec` into one
+:meth:`BitWaveNPU.run_fc` call and rescales the cycle/traffic counts to
+the layer's full output-context count.
+
+The rescale is exact, not an approximation: the datapath serializes
+output contexts over the spatial ``OXu`` unroll, so
+``compute_cycles = per_block_cycles * n_blocks`` (see
+:meth:`repro.sim.npu.BitWaveNPU.run_fc`).  Simulating ``max_contexts``
+rows measures ``per_block_cycles`` bit-exactly; multiplying by the full
+block count reproduces the cycles a full simulation would report.
+Weight traffic is context-independent; activation traffic scales with
+the true row count.
+
+:func:`analytic_compute_cycles` is the matching analytical-model half
+(BitWave's lock-stepped column cycle formula), shared by the Section
+V-B validation harness and the cross-backend deviation metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.fetcher import DataFetcher
+from repro.sim.npu import SEGMENT_KERNELS, BitWaveNPU
+from repro.sparsity.stats import LayerWeightStats, compute_layer_stats
+from repro.utils.rng import seeded_rng
+from repro.workloads.spec import LayerSpec
+from repro.workloads.synthetic import synthetic_weights
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class SimLayerRun:
+    """Full-layer counters reconstructed from a truncated simulation."""
+
+    #: Datapath compute cycles for every output context of the layer.
+    compute_cycles: int
+    #: Fetcher cycles (weights + full activation stream).
+    fetch_cycles: int
+    #: ZCIP column operations (context-independent).
+    column_ops: int
+    #: Compressed weight stream, index bytes included (bits).
+    weight_bits_fetched: int
+    #: Uncompressed weight footprint (bits).
+    dense_weight_bits: int
+    #: Activation words of the full layer.
+    act_words: int
+    #: Output contexts actually simulated / in the full layer.
+    simulated_rows: int
+    total_rows: int
+
+    @property
+    def total_cycles(self) -> int:
+        """Compute and fetch overlap; the longer stream dominates."""
+        return max(self.compute_cycles, self.fetch_cycles)
+
+
+def matmul_reduction(spec: LayerSpec) -> int:
+    """Reduction width of the layer's lowered matmul."""
+    if spec.kind == "dwconv":
+        return spec.fy * spec.fx
+    return spec.fy * spec.fx * spec.c
+
+
+def layer_matmul_weights(spec: LayerSpec) -> np.ndarray:
+    """The ``(K, reduction)`` int8 matrix the simulator streams.
+
+    Identical weights to the analytical model's sparsity profiles
+    (:mod:`repro.sparsity.profiles`), so model-vs-sim comparisons see
+    the same bit patterns.
+    """
+    return synthetic_weights(spec)
+
+
+def layer_matmul_activations(spec: LayerSpec, rows: int) -> np.ndarray:
+    """Deterministic int8-range activations for ``rows`` contexts."""
+    rng = seeded_rng("eval-sim-acts", spec.network, spec.name)
+    return rng.integers(-128, 128,
+                        (rows, matmul_reduction(spec))).astype(np.int32)
+
+
+def output_rows(spec: LayerSpec) -> int:
+    """Output contexts the datapath serializes over ``OXu``."""
+    return spec.b * spec.ox * spec.oy
+
+
+def simulate_layer(
+    spec: LayerSpec,
+    npu: BitWaveNPU,
+    max_contexts: int = 64,
+    weights: np.ndarray | None = None,
+) -> SimLayerRun:
+    """Run one layer's matmul on ``npu``, rescaled to full contexts.
+
+    ``weights`` lets a caller that already materialized the layer's
+    synthetic weights (they are not cached) reuse them.
+    """
+    if weights is None:
+        weights = layer_matmul_weights(spec)
+    rows = output_rows(spec)
+    sim_rows = rows if max_contexts == 0 else min(rows, max_contexts)
+    run = npu.run_fc(weights, layer_matmul_activations(spec, sim_rows))
+
+    blocks_sim = _ceil_div(sim_rows, npu.oxu)
+    blocks_full = _ceil_div(rows, npu.oxu)
+    # run.compute_cycles is an exact multiple of blocks_sim (per-block
+    # cycles times the simulated block count), so this is lossless.
+    compute_cycles = run.compute_cycles // blocks_sim * blocks_full
+
+    reduction = weights.shape[1]
+    act_words = rows * reduction
+    fetcher = DataFetcher(npu.fetcher.weight_bw_bits, npu.fetcher.act_bw_bits)
+    fetch_cycles = fetcher.fetch_weight_columns(run.weight_bits_fetched)
+    fetch_cycles += fetcher.fetch_activations(act_words)
+
+    return SimLayerRun(
+        compute_cycles=int(compute_cycles),
+        fetch_cycles=int(fetch_cycles),
+        column_ops=int(run.column_ops),
+        weight_bits_fetched=int(run.weight_bits_fetched),
+        dense_weight_bits=int(run.dense_weight_bits),
+        act_words=int(act_words),
+        simulated_rows=int(sim_rows),
+        total_rows=int(rows),
+    )
+
+
+def analytic_compute_cycles(
+    stats: LayerWeightStats,
+    k: int,
+    reduction: int,
+    rows: int,
+    group_size: int = 8,
+    ku: int = 32,
+    oxu: int = 16,
+) -> float:
+    """BitWave's analytical compute-cycle model for one matmul.
+
+    Segments of :data:`SEGMENT_KERNELS` kernels advance in lockstep, so
+    a segment context costs the expected *maximum* non-zero-column
+    count over its ``64 / G`` groups; ``Ku / 8`` segments stream through
+    parallel banks and contexts beyond ``OXu`` serialize.  This is the
+    model half of the paper's Section V-B validation (<6% vs RTL).
+    """
+    sync_domain = max(64 // group_size, 1)
+    cpm = stats.expected_max_nz_columns(group_size, sync_domain)
+    n_segments = (_ceil_div(k, SEGMENT_KERNELS)
+                  * _ceil_div(reduction, group_size))
+    streams = max(ku // SEGMENT_KERNELS, 1)
+    contexts = _ceil_div(rows, oxu)
+    return n_segments * cpm / streams * contexts
+
+
+def layer_stats_for_sim(
+    spec: LayerSpec,
+    group_size: int,
+    weights: np.ndarray | None = None,
+) -> LayerWeightStats:
+    """Sparsity profile of the simulated weights at one group size."""
+    if weights is None:
+        weights = layer_matmul_weights(spec)
+    return compute_layer_stats(weights, group_sizes=(group_size,))
+
+
+def model_vs_sim_deviation(simulated_cycles: int, analytic: float) -> float:
+    """Relative deviation of the analytical model from the simulator."""
+    return abs(simulated_cycles - analytic) / simulated_cycles

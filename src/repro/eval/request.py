@@ -1,0 +1,187 @@
+"""Typed evaluation requests: the question half of the ``repro.eval`` API.
+
+An :class:`EvalRequest` names one *(workload, accelerator configuration,
+backend)* evaluation plus its options, and hashes to the stable key the
+result store caches under.  The same request object drives every
+backend -- the analytical model and both structural-simulator datapaths
+-- so campaign grids, experiment harnesses, and ad-hoc calls all share
+one cache keyspace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.workloads.nets import canonical_network, parse_network
+
+#: Bump when the meaning of a request's fields changes (keys include it).
+REQUEST_VERSION = 2
+
+#: The default backend (the analytical STEP1-STEP4 model).
+MODEL_BACKEND = "model"
+
+#: The ablation rung equal to ``BitWave()``'s constructor defaults.
+FULL_BITWAVE_VARIANT = "+DF+SM+BF"
+
+
+def config_hash(config: Mapping[str, Any]) -> str:
+    """Stable 16-hex-char digest of a JSON-serializable config mapping.
+
+    Canonical JSON (sorted keys, tight separators) makes the digest
+    independent of dict insertion order, process, and
+    ``PYTHONHASHSEED``.
+    """
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class EvalOptions:
+    """Backend-tunable evaluation knobs.
+
+    ``batch`` scales every layer of the workload; the ``sim_*`` fields
+    configure the structural simulator (ignored by the ``model``
+    backend) -- BCS group size, kernel/spatial unrolls, and the cap on
+    simulated output contexts per layer.  Context blocks beyond
+    ``sim_max_contexts`` serialize identically in the datapath, so the
+    simulator runs a truncated activation set and rescales the cycle
+    and traffic counts exactly (see :mod:`repro.eval.lowering`);
+    ``0`` simulates every context.
+    """
+
+    batch: int = 1
+    sim_group_size: int = 8
+    sim_ku: int = 32
+    sim_oxu: int = 16
+    sim_max_contexts: int = 64
+
+    def validate(self) -> None:
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+        for name in ("sim_group_size", "sim_ku", "sim_oxu"):
+            if getattr(self, name) < 1:
+                raise ValueError(
+                    f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.sim_max_contexts < 0:
+            raise ValueError(
+                f"sim_max_contexts must be >= 0, got {self.sim_max_contexts}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "batch": self.batch,
+            "sim_group_size": self.sim_group_size,
+            "sim_ku": self.sim_ku,
+            "sim_oxu": self.sim_oxu,
+            "sim_max_contexts": self.sim_max_contexts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EvalOptions":
+        return cls(**{name: data[name] for name in cls.__dataclass_fields__
+                      if name in data})
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One workload x accelerator-configuration x backend evaluation.
+
+    ``workload`` is a network name from the :data:`repro.workloads.nets`
+    registry, optionally parametrized (``"bert_base@tokens=128"``).
+    ``variant`` selects a rung of the BitWave ablation ladder; ``None``
+    is the fully-enabled comparison build.  ``backend`` names a
+    registered :class:`repro.eval.registry.EvalBackend`.
+    """
+
+    workload: str
+    accelerator: str = "BitWave"
+    variant: str | None = None
+    backend: str = MODEL_BACKEND
+    options: EvalOptions = field(default_factory=EvalOptions)
+
+    def __post_init__(self) -> None:
+        # The fully-enabled ablation rung IS the SotA comparison build
+        # (BitWave's constructor defaults), so both spellings
+        # canonicalize to one request and share one store entry.
+        if self.accelerator == "BitWave" and self.variant == FULL_BITWAVE_VARIANT:
+            object.__setattr__(self, "variant", None)
+        # Likewise parametrized workload spellings: defaults dropped,
+        # parameters sorted, so "bert_base@tokens=4" == "bert_base".
+        try:
+            object.__setattr__(self, "workload",
+                               canonical_network(self.workload))
+        except ValueError:
+            pass  # left verbatim; validate() reports the real error
+
+    def validate(self) -> None:
+        from repro.accelerators import BITWAVE_VARIANTS, SOTA_ACCELERATORS
+        from repro.eval.registry import backend_names
+
+        parse_network(self.workload)  # raises on unknown/bad parameters
+        self.options.validate()
+        if self.backend not in backend_names():
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"one of {backend_names()}")
+        if self.variant is None:
+            if self.accelerator not in SOTA_ACCELERATORS:
+                raise ValueError(
+                    f"unknown accelerator {self.accelerator!r}; "
+                    f"one of {SOTA_ACCELERATORS}")
+        else:
+            if self.accelerator != "BitWave":
+                raise ValueError(
+                    f"variants are BitWave ablations; got "
+                    f"accelerator={self.accelerator!r}")
+            if self.variant not in BITWAVE_VARIANTS:
+                raise ValueError(
+                    f"unknown BitWave variant {self.variant!r}; "
+                    f"one of {BITWAVE_VARIANTS}")
+        if self.backend != MODEL_BACKEND:
+            # The structural simulator implements the BitWave datapath;
+            # ablation rungs have no simulator counterpart.
+            if self.accelerator != "BitWave" or self.variant is not None:
+                raise ValueError(
+                    f"backend {self.backend!r} simulates the fully-enabled "
+                    f"BitWave datapath only; got "
+                    f"{self.config_label}")
+
+    @property
+    def config_label(self) -> str:
+        """Display label for the accelerator-configuration axis."""
+        label = self.accelerator
+        if self.variant is not None:
+            label = f"BitWave[{self.variant}]"
+        if self.backend != MODEL_BACKEND:
+            label = f"{label}@{self.backend}"
+        return label
+
+    @property
+    def label(self) -> str:
+        return f"{self.config_label}/{self.workload}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": REQUEST_VERSION,
+            "workload": self.workload,
+            "accelerator": self.accelerator,
+            "variant": self.variant,
+            "backend": self.backend,
+            "options": self.options.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EvalRequest":
+        return cls(
+            workload=data["workload"],
+            accelerator=data["accelerator"],
+            variant=data.get("variant"),
+            backend=data.get("backend", MODEL_BACKEND),
+            options=EvalOptions.from_dict(data.get("options", {})),
+        )
+
+    def key(self) -> str:
+        """Stable result-store key for this request."""
+        return config_hash(self.to_dict())

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.accelerators.bitwave import BitWave
+from repro.eval.backends import model_network_evaluation
 from repro.accelerators.huaa import HUAA
 from repro.model.technology import TECH_16NM
 from repro.sparsity.profiles import network_weight_stats
@@ -72,7 +73,7 @@ def dram_bandwidth_ablation(
     results: dict[int, dict[str, float]] = {}
     for bits in widths:
         tech = replace(TECH_16NM, dram_bits_per_cycle=bits)
-        evaluation = BitWave(tech=tech).evaluate_network(network)
+        evaluation = model_network_evaluation(BitWave(tech=tech), network)
         dram = sum(layer.latency.dram_cycles for layer in evaluation.layers)
         results[bits] = {
             "total_cycles": evaluation.total_cycles,
@@ -135,12 +136,13 @@ def dense_precision_ablation(
     precisions: tuple[int, ...] = (8, 6, 4, 2),
 ) -> dict[int, float]:
     """ZCIP dense-mode precision scaling: speedup vs 8-bit dense."""
-    base = BitWave(columns="dense", bitflip=False).evaluate_network(network)
+    base = model_network_evaluation(
+        BitWave(columns="dense", bitflip=False), network)
     results: dict[int, float] = {}
     for bits in precisions:
         acc = BitWave(columns="dense", bitflip=False, dense_precision=bits)
         results[bits] = base.total_cycles / \
-            acc.evaluate_network(network).total_cycles
+            model_network_evaluation(acc, network).total_cycles
     return results
 
 

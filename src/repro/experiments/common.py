@@ -1,111 +1,101 @@
-"""Shared accelerator evaluations for the experiment harnesses.
+"""Deprecated shared-evaluation helpers (shims over :mod:`repro.eval`).
 
-The Fig. 13-17 harnesses all consume the same 6 accelerators x 4
-networks evaluation grid (plus the Fig. 13 BitWave ablation ladder).
-Grids are sourced from the :mod:`repro.dse` engine: every evaluation
-round-trips the persistent result store, so repeated harness runs --
-including across processes -- are incremental, and ``--jobs N`` can
-pre-warm the grid on a process pool.  A per-process memo on top keeps
-object identity and avoids repeated deserialization.
+The Fig. 13-17 harnesses now consume :mod:`repro.eval.grids` directly;
+these wrappers keep the historical ``experiments.common`` signatures
+working -- same :class:`NetworkEvaluation` return type, same
+memo-identity semantics -- while emitting ``DeprecationWarning``.  Each
+call round-trips the same store-backed cache as the new API (the shim
+test pins the outputs equal), so mixing old and new callers stays
+incremental.
 """
 
 from __future__ import annotations
 
-from repro.accelerators import BITWAVE_VARIANTS, SOTA_ACCELERATORS
+import warnings
+from typing import Callable
+
+from repro.accelerators import SOTA_ACCELERATORS
 from repro.accelerators.base import NetworkEvaluation
-from repro.dse.executor import CampaignRun, evaluate_point, run_campaign
-from repro.dse.records import make_record
-from repro.dse.spec import CampaignSpec, EvalPoint
+from repro.dse.executor import CampaignRun
+from repro.dse.spec import EvalPoint
 from repro.dse.store import ResultStore
+from repro.eval import api as _eval_api
+from repro.eval import grids as _grids
+from repro.eval.registry import get_backend
+from repro.eval.result import to_network_evaluation
 from repro.workloads.nets import NETWORKS
 
 #: The Fig. 13 ablation ladder, in presentation order.
-BREAKDOWN_VARIANTS = BITWAVE_VARIANTS
+BREAKDOWN_VARIANTS = _grids.BREAKDOWN_VARIANTS
 
-#: Per-process memo (config-hash key -> evaluation).
+#: Per-process memo (config-hash key -> legacy evaluation object),
+#: preserving the old object-identity guarantee across calls.
 _MEMO: dict[str, NetworkEvaluation] = {}
-_STORE: ResultStore | None = None
-_STORE_BROKEN = False
+
+
+def _deprecated(replacement: str) -> None:
+    warnings.warn(
+        f"repro.experiments.common is deprecated; use {replacement}",
+        DeprecationWarning, stacklevel=3)
 
 
 def default_store() -> ResultStore | None:
     """The process-wide result store, or ``None`` if it is unusable
     (e.g. a read-only filesystem -- evaluation then simply skips
     persistence)."""
-    global _STORE, _STORE_BROKEN
-    if _STORE_BROKEN:
-        return None
-    if _STORE is None:
-        _STORE = ResultStore()
-    return _STORE
+    return _eval_api.default_store(get_backend("model"))
 
 
 def reset_cache() -> None:
     """Drop the per-process memo and store handle (used by tests)."""
-    global _STORE, _STORE_BROKEN
     _MEMO.clear()
-    _STORE = None
-    _STORE_BROKEN = False
+    _eval_api.reset_cache()
 
 
 def cached_evaluation(point: EvalPoint) -> NetworkEvaluation:
-    """Evaluate ``point`` through memo -> store -> compute."""
-    global _STORE_BROKEN
+    """Deprecated: evaluate ``point`` through :func:`repro.eval.evaluate`."""
+    _deprecated("repro.eval.evaluate(point.request())")
+    return _legacy(point)
+
+
+def _legacy(point: EvalPoint) -> NetworkEvaluation:
+    """Memoized legacy view of the canonical cached result."""
     key = point.key()
-    if key in _MEMO:
-        return _MEMO[key]
-    store = default_store()
-    evaluation = store.evaluation(key) if store is not None else None
-    if evaluation is None:
-        evaluation = evaluate_point(point)
-        if store is not None:
-            try:
-                store.put(key, make_record(point, evaluation))
-            except OSError:
-                _STORE_BROKEN = True
-    _MEMO[key] = evaluation
-    return evaluation
+    if key not in _MEMO:
+        _MEMO[key] = to_network_evaluation(_eval_api.evaluate(point.request()))
+    return _MEMO[key]
 
 
 def sota_evaluation(accelerator: str, network: str) -> NetworkEvaluation:
-    return cached_evaluation(EvalPoint(accelerator, network))
+    _deprecated("repro.eval.grids.evaluation(network, accelerator)")
+    return _legacy(EvalPoint(accelerator, network))
 
 
 def breakdown_evaluation(variant: str, network: str) -> NetworkEvaluation:
-    return cached_evaluation(EvalPoint("BitWave", network, variant=variant))
+    _deprecated("repro.eval.grids.evaluation(network, 'BitWave', variant)")
+    return _legacy(EvalPoint("BitWave", network, variant=variant))
 
 
 def prewarm_grids(
     networks: tuple[str, ...] = NETWORKS,
     jobs: int = 1,
-    progress=None,
+    progress: Callable[..., None] | None = None,
 ) -> CampaignRun | None:
-    """Populate store + memo for the full Fig. 13-17 grids, optionally
-    in parallel.  Returns ``None`` when no store is available (parallel
-    results could not be handed back to this process's memo cheaply, so
-    the harnesses would recompute serially anyway)."""
-    store = default_store()
-    if store is None:
-        return None
-    spec = CampaignSpec(
-        name="experiments-grid",
-        accelerators=SOTA_ACCELERATORS,
-        networks=networks,
-        variants=BREAKDOWN_VARIANTS,
-    )
-    run = run_campaign(spec, store, jobs=jobs, progress=progress)
-    _MEMO.update(run.results)
-    return run
+    """Deprecated: see :func:`repro.eval.grids.prewarm_grids`."""
+    _deprecated("repro.eval.grids.prewarm_grids(...)")
+    return _grids.prewarm_grids(networks=networks, jobs=jobs,
+                                progress=progress)
 
 
 def sota_grid(
     networks: tuple[str, ...] = NETWORKS,
     accelerators: tuple[str, ...] | None = None,
 ) -> dict[tuple[str, str], NetworkEvaluation]:
-    """``(accelerator, network) -> evaluation`` for a sub-grid."""
+    """Deprecated: see :func:`repro.eval.grids.sota_grid`."""
+    _deprecated("repro.eval.grids.sota_grid(...)")
     accelerators = SOTA_ACCELERATORS if accelerators is None else accelerators
     return {
-        (acc, net): sota_evaluation(acc, net)
+        (acc, net): _legacy(EvalPoint(acc, net))
         for net in networks
         for acc in accelerators
     }
@@ -115,13 +105,19 @@ def breakdown_grid(
     networks: tuple[str, ...] = NETWORKS,
     variants: tuple[str, ...] = BREAKDOWN_VARIANTS,
 ) -> dict[tuple[str, str], NetworkEvaluation]:
-    """``(variant, network) -> evaluation`` for the ablation ladder."""
+    """Deprecated: see :func:`repro.eval.grids.breakdown_grid`."""
+    _deprecated("repro.eval.grids.breakdown_grid(...)")
     return {
-        (variant, net): breakdown_evaluation(variant, net)
+        (variant, net): _legacy(EvalPoint("BitWave", net, variant=variant))
         for net in networks
         for variant in variants
     }
 
 
 def all_sota_evaluations() -> dict[tuple[str, str], NetworkEvaluation]:
-    return sota_grid()
+    _deprecated("repro.eval.grids.sota_grid()")
+    return {
+        (acc, net): _legacy(EvalPoint(acc, net))
+        for net in NETWORKS
+        for acc in SOTA_ACCELERATORS
+    }

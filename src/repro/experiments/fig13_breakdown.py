@@ -7,7 +7,7 @@ Bert-Base; Bit-Flip then unlocks a further ~2.7x on Bert-Base.
 
 from __future__ import annotations
 
-from repro.experiments.common import BREAKDOWN_VARIANTS, breakdown_grid
+from repro.eval.grids import BREAKDOWN_VARIANTS, breakdown_grid
 from repro.utils.tables import format_table
 from repro.workloads.nets import NETWORKS
 

@@ -7,7 +7,7 @@ SCNN on CNN-LSTM / Bert-Base; >2x vs Bitlet.
 from __future__ import annotations
 
 from repro.accelerators import SOTA_ACCELERATORS
-from repro.experiments.common import sota_grid
+from repro.eval.grids import sota_grid
 from repro.utils.tables import format_table
 from repro.workloads.nets import NETWORKS
 

@@ -6,7 +6,7 @@ networks where all weights must be loaded on chip at least once.
 
 from __future__ import annotations
 
-from repro.experiments.common import sota_grid
+from repro.eval.grids import sota_grid
 from repro.utils.tables import format_table
 from repro.workloads.nets import NETWORKS
 

@@ -7,7 +7,7 @@ SCNN and 2.04x HUAA on Bert-Base.
 from __future__ import annotations
 
 from repro.accelerators import SOTA_ACCELERATORS
-from repro.experiments.common import sota_grid
+from repro.eval.grids import sota_grid
 from repro.utils.tables import format_table
 from repro.workloads.nets import NETWORKS
 

@@ -15,9 +15,9 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
+from repro.eval.grids import prewarm_grids
 from repro.experiments import (
     ablations,
-    common,
     fig01_sparsity,
     fig04_bcs_2c_vs_sm,
     fig05_compression,
@@ -70,7 +70,7 @@ def parse_args(argv: Sequence[str] | None = None) -> argparse.Namespace:
 
 def main(fast: bool = False, jobs: int = 1) -> None:
     if jobs != 1:
-        common.prewarm_grids(jobs=jobs, progress=ProgressPrinter())
+        prewarm_grids(jobs=jobs, progress=ProgressPrinter())
     for module in FAST_MODULES:
         module.main()
         print()

@@ -1,10 +1,18 @@
-"""Section V-B validation: analytical model vs datapath simulator.
+"""Section V-B validation: a thin model-vs-sim backend diff.
 
 The paper validates its analytical performance model against BitWave's
 RTL at <6% deviation.  We reproduce the methodology with the structural
 simulator standing in for RTL: run a suite of fully-connected *and*
 convolution layers through :class:`repro.sim.BitWaveNPU` and compare
 the measured compute cycles against the analytical cycle model.
+
+Both halves of the comparison live in :mod:`repro.eval` now -- the
+simulator lowering and the matched analytical formula are
+:func:`repro.eval.lowering.analytic_compute_cycles` /
+:func:`repro.eval.lowering.model_vs_sim_deviation`, the same code every
+``sim-*`` backend result reports its per-layer deviation with -- so
+this harness only owns the suite definition (cases, weights) and the
+diff table.
 
 The suite mixes synthetic FC shapes with layers drawn from the real
 workload spec tables (:mod:`repro.workloads.nets`): the FC heads of
@@ -20,7 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.sim.npu import BitWaveNPU, SEGMENT_KERNELS
+from repro.eval.lowering import analytic_compute_cycles, model_vs_sim_deviation
+from repro.sim.npu import BitWaveNPU
 from repro.sparsity.stats import compute_layer_stats
 from repro.utils.rng import seeded_rng
 from repro.utils.tables import format_table
@@ -138,16 +147,16 @@ def run(group_size: int = 8, ku: int = 32, oxu: int = 16,
 
         stats = compute_layer_stats(_im2col_weights(case, weights),
                                     group_sizes=(group_size,))
-        sync_domain = max(64 // group_size, 1)
-        cpm = stats.expected_max_nz_columns(group_size, sync_domain)
-        reduction = case.c * case.fy * case.fx
-        n_segments = (-(-case.k // SEGMENT_KERNELS)
-                      * -(-reduction // group_size))
-        contexts = -(-_output_rows(case) // oxu)
-        streams = max(ku // SEGMENT_KERNELS, 1)
-        analytic = n_segments * cpm / streams * contexts
-
-        deviation = abs(run_.compute_cycles - analytic) / run_.compute_cycles
+        analytic = analytic_compute_cycles(
+            stats,
+            k=case.k,
+            reduction=case.c * case.fy * case.fx,
+            rows=_output_rows(case),
+            group_size=group_size,
+            ku=ku,
+            oxu=oxu,
+        )
+        deviation = model_vs_sim_deviation(run_.compute_cycles, analytic)
         results.append({
             "layer": case.name,
             "kind": case.kind,

@@ -12,6 +12,9 @@ GELU (BERT) activations are nearly dense.
 
 from __future__ import annotations
 
+import inspect
+from functools import lru_cache
+
 from repro.workloads.spec import LayerSpec
 
 #: Input-activation value sparsity by producing activation function.
@@ -118,7 +121,13 @@ def cnn_lstm_layers(batch: int = 1, frames: int = 16,
 
 def bert_base_layers(batch: int = 1, tokens: int = 4,
                      num_blocks: int = 12) -> list[LayerSpec]:
-    """BERT-Base encoder weight matmuls at the paper's token size 4."""
+    """BERT-Base encoder weight matmuls.
+
+    ``tokens`` defaults to the paper's Fig. 13 input size 4 but is a
+    first-class workload parameter: ``network_layers("bert_base@tokens=128")``
+    builds the same encoder at a 128-token context, so token sweeps are
+    expressible as campaign points.
+    """
     dim, ffn = 768, 3072
     layers: list[LayerSpec] = []
     for i in range(num_blocks):
@@ -155,9 +164,88 @@ _BUILDERS = {
     "bert_base": bert_base_layers,
 }
 
+#: Tunable workload parameters accepted per network (the ``@name=value``
+#: suffix of a parametrized workload spec).  BERT's token count is the
+#: headline axis (the paper pins it to 4; token sweeps vary it).
+WORKLOAD_PARAMS: dict[str, tuple[str, ...]] = {
+    "resnet18": (),
+    "mobilenetv2": (),
+    "cnn_lstm": ("frames", "bins", "hidden"),
+    "bert_base": ("tokens", "num_blocks"),
+}
+
+
+def parse_network(spec: str) -> tuple[str, dict[str, int]]:
+    """Split a workload spec into ``(base network, parameters)``.
+
+    ``"bert_base"`` -> ``("bert_base", {})``;
+    ``"bert_base@tokens=128"`` -> ``("bert_base", {"tokens": 128})``.
+    Multiple parameters join with ``+`` (comma stays free for CSV grid
+    axes): ``"cnn_lstm@frames=4+hidden=128"``.  Raises ``ValueError``
+    for unknown networks, unknown parameters, and non-positive values.
+    """
+    base, _, param_str = spec.partition("@")
+    if base not in _BUILDERS:
+        raise ValueError(f"unknown network {base!r}; one of {NETWORKS}")
+    params: dict[str, int] = {}
+    if param_str:
+        allowed = WORKLOAD_PARAMS[base]
+        for part in param_str.split("+"):
+            name, sep, raw = part.partition("=")
+            if not sep or not name or not raw:
+                raise ValueError(
+                    f"bad workload parameter {part!r} in {spec!r} "
+                    f"(expected name=value)")
+            if name not in allowed:
+                raise ValueError(
+                    f"unknown parameter {name!r} for {base}; "
+                    f"one of {allowed or '(none)'}")
+            if name in params:
+                raise ValueError(
+                    f"duplicate parameter {name!r} in {spec!r}")
+            try:
+                value = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"parameter {name!r} must be an integer, got {raw!r}")
+            if value < 1:
+                raise ValueError(
+                    f"parameter {name!r} must be >= 1, got {value}")
+            params[name] = value
+    return base, params
+
+
+@lru_cache(maxsize=None)
+def _builder_defaults(base: str) -> dict[str, int]:
+    """Default values of a network's tunable parameters."""
+    signature = inspect.signature(_BUILDERS[base])
+    return {name: signature.parameters[name].default
+            for name in WORKLOAD_PARAMS[base]}
+
+
+def canonical_network(spec: str) -> str:
+    """One spelling per workload: defaults dropped, parameters sorted.
+
+    ``"bert_base@tokens=4"`` (the builder default) canonicalizes to
+    ``"bert_base"``, and ``"cnn_lstm@hidden=128+frames=4"`` to
+    ``"cnn_lstm@frames=4+hidden=128"`` -- so equivalent spellings share
+    one evaluation-cache key and one campaign grid point.
+    """
+    base, params = parse_network(spec)
+    defaults = _builder_defaults(base)
+    kept = {name: value for name, value in sorted(params.items())
+            if value != defaults[name]}
+    if not kept:
+        return base
+    return base + "@" + "+".join(f"{n}={v}" for n, v in kept.items())
+
 
 def network_layers(network: str, batch: int = 1) -> list[LayerSpec]:
-    """Layer table of one of the four benchmark networks."""
-    if network not in _BUILDERS:
-        raise ValueError(f"unknown network {network!r}; one of {NETWORKS}")
-    return _BUILDERS[network](batch=batch)
+    """Layer table of a benchmark network, optionally parametrized.
+
+    ``network`` accepts a bare registry name (``"bert_base"``) or a
+    parametrized spec (``"bert_base@tokens=128"``, see
+    :func:`parse_network`).
+    """
+    base, params = parse_network(network)
+    return _BUILDERS[base](batch=batch, **params)

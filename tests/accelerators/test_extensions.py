@@ -5,6 +5,9 @@ import pytest
 
 from repro.accelerators.bitwave import BitWave
 from repro.accelerators.huaa import HUAA
+
+# evaluate_network's deprecation shim is itself under test below.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 from repro.sparsity.stats import compute_layer_stats
 from repro.workloads.nets import bert_base_layers
 from repro.workloads.spec import LayerSpec

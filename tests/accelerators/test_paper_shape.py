@@ -11,6 +11,7 @@ import pytest
 
 from repro.accelerators import SOTA_ACCELERATORS, build_accelerator
 from repro.accelerators.bitwave import BitWave
+from repro.eval.backends import model_network_evaluation
 from repro.workloads.nets import NETWORKS
 
 
@@ -20,7 +21,7 @@ def evaluations():
     for name in SOTA_ACCELERATORS:
         acc = build_accelerator(name)
         for net in NETWORKS:
-            results[(name, net)] = acc.evaluate_network(net)
+            results[(name, net)] = model_network_evaluation(acc, net)
     return results
 
 
@@ -33,7 +34,7 @@ def breakdown():
         "df_sm_bf": BitWave("dynamic", "sm", True),
     }
     return {
-        (tag, net): acc.evaluate_network(net)
+        (tag, net): model_network_evaluation(acc, net)
         for tag, acc in variants.items()
         for net in NETWORKS
     }

@@ -137,3 +137,95 @@ class TestResolveJobs:
     def test_negative_rejected(self):
         with pytest.raises(ValueError, match="jobs"):
             resolve_jobs(-1)
+
+
+class TestBackendAxis:
+    """Backend is a first-class campaign axis: sim-backed points ride
+    the same executor and land in the simulator's fingerprint-namespaced
+    store next to the model store."""
+
+    def test_mixed_backend_campaign(self, tmp_path):
+        from repro.eval.fingerprints import sim_backend_fingerprint
+
+        spec = CampaignSpec(
+            name="mixed",
+            accelerators=("SCNN", "BitWave"),
+            networks=("cnn_lstm@frames=4+bins=64+hidden=64",),
+            backends=("model", "sim-vectorized"),
+        )
+        points = spec.points()
+        # Sim backends expand against BitWave only.
+        assert [p.label for p in points] == [
+            "SCNN/cnn_lstm@frames=4+bins=64+hidden=64",
+            "BitWave/cnn_lstm@frames=4+bins=64+hidden=64",
+            "BitWave@sim-vectorized/cnn_lstm@frames=4+bins=64+hidden=64",
+        ]
+
+        store = ResultStore(tmp_path)
+        run = run_campaign(spec, store)
+        assert (run.total, run.cached, run.evaluated) == (3, 0, 3)
+
+        sim_store = ResultStore(tmp_path,
+                                namespace=sim_backend_fingerprint())
+        sim_point = points[-1]
+        assert sim_point.key() in sim_store
+        assert sim_point.key() not in store
+        assert store.result(points[0].key()) is not None
+
+        # Resume serves every backend from its own namespace.
+        resumed = run_campaign(spec, ResultStore(tmp_path))
+        assert (resumed.cached, resumed.evaluated) == (3, 0)
+        assert resumed.results == run.results
+
+    def test_sim_result_metrics_flow_into_summary(self, tmp_path):
+        from repro.dse.summary import summary_data
+
+        spec = CampaignSpec(
+            name="simsum",
+            accelerators=("BitWave",),
+            networks=("cnn_lstm@frames=4+bins=64+hidden=64",),
+            backends=("sim-vectorized",),
+        )
+        store = ResultStore(tmp_path)
+        run_campaign(spec, store)
+        rows = summary_data(spec, store)
+        assert len(rows) == 1
+        assert rows[0]["stored"] is True
+        assert rows[0]["backend"] == "sim-vectorized"
+        assert rows[0]["cycles"] > 0
+        assert rows[0]["energy"] is None  # energy unmodeled in the sim
+
+    def test_sim_only_campaign_without_bitwave_is_an_error(self):
+        spec = CampaignSpec(
+            name="empty",
+            accelerators=("SCNN",),
+            networks=("cnn_lstm",),
+            backends=("sim-vectorized",),
+        )
+        with pytest.raises(ValueError, match="zero points"):
+            spec.points()
+
+    def test_unmodeled_energy_excluded_from_json_and_pareto(self, tmp_path):
+        """Sim-backed rows report energy metrics as missing, not as a
+        best-possible zero (and the JSON stays RFC-parseable)."""
+        import json as json_mod
+
+        from repro.dse.summary import pareto_data, summary_data
+
+        spec = CampaignSpec(
+            name="mixedsum",
+            accelerators=("BitWave",),
+            networks=("cnn_lstm@frames=4+bins=64+hidden=64",),
+            backends=("model", "sim-vectorized"),
+        )
+        store = ResultStore(tmp_path)
+        run_campaign(spec, store)
+        rows = summary_data(spec, store)
+        by_backend = {row["backend"]: row for row in rows}
+        assert by_backend["model"]["energy"] > 0
+        assert by_backend["sim-vectorized"]["energy"] is None
+        assert by_backend["sim-vectorized"]["tops_per_w"] is None
+        json_mod.loads(json_mod.dumps(rows))  # strictly serializable
+
+        front = pareto_data(spec, store, x="cycles", y="energy")
+        assert all(row["backend"] == "model" for row in front)

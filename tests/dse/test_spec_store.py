@@ -19,6 +19,7 @@ from repro.dse.spec import (
     paper_grid,
 )
 from repro.dse.store import ResultStore
+from repro.eval.result import from_network_evaluation
 from repro.model.energy import EnergyBreakdown
 from repro.model.latency import LatencyBreakdown
 from repro.model.zigzag import ActivityCounts
@@ -49,7 +50,9 @@ class TestConfigHash:
     def test_pinned_value(self):
         # Catches accidental canonical-format drift; update deliberately
         # (and bump SPEC_VERSION) if the point schema changes.
-        assert EvalPoint("SCNN", "cnn_lstm").key() == "79218e45922db902"
+        # SPEC_VERSION 2: keys come from the repro.eval request schema
+        # (backend + options joined the key).
+        assert EvalPoint("SCNN", "cnn_lstm").key() == "d7d33ec2efdb557b"
 
     def test_key_order_independent(self):
         a = config_hash({"x": 1, "y": [1, 2], "z": None})
@@ -69,9 +72,18 @@ class TestConfigHash:
         }
         assert len(keys) == 5
 
-    def test_key_matches_dict_hash(self):
+    def test_key_matches_request_hash(self):
+        # Campaign points and ad-hoc repro.eval requests share one
+        # cache keyspace.
         point = EvalPoint("BitWave", "resnet18", variant="+DF+SM")
-        assert point.key() == config_hash(point.to_dict())
+        assert point.key() == point.request().key()
+        assert point.key() == config_hash(point.request().to_dict())
+
+    def test_backend_is_part_of_the_key(self):
+        model = EvalPoint("BitWave", "cnn_lstm")
+        sim = EvalPoint("BitWave", "cnn_lstm", backend="sim-vectorized")
+        assert model.key() != sim.key()
+        assert sim.config_label == "BitWave@sim-vectorized"
 
     def test_fingerprint_is_stable_hex(self):
         fp = code_fingerprint()
@@ -186,12 +198,20 @@ class TestRecords:
 
     def test_make_record_fields(self):
         point = EvalPoint("SCNN", "cnn_lstm")
-        record = make_record(point, _synthetic_evaluation(), elapsed_s=1.5)
+        result = from_network_evaluation(_synthetic_evaluation())
+        record = make_record(point, result, elapsed_s=1.5)
         assert record["key"] == point.key()
         assert record["point"] == point.to_dict()
         assert record["fingerprint"] == code_fingerprint()
         assert record["elapsed_s"] == 1.5
         assert record["result"]["layers"]
+        assert record["result"]["backend"] == "model"
+
+    def test_make_record_custom_fingerprint(self):
+        point = EvalPoint("BitWave", "cnn_lstm", backend="sim-vectorized")
+        result = from_network_evaluation(_synthetic_evaluation())
+        record = make_record(point, result, fingerprint="simnet-abc")
+        assert record["fingerprint"] == "simnet-abc"
 
 
 class TestResultStore:

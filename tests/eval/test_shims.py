@@ -1,0 +1,92 @@
+"""The deprecation shims must stay bit-equal to the new API.
+
+Pins the satellite guarantee: ``Accelerator.evaluate_network`` and the
+public ``experiments.common`` helpers keep working (same numbers, same
+types) while emitting ``DeprecationWarning``, and their outputs equal
+``repro.eval`` answering the same question.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerators import build_accelerator
+from repro.accelerators.bitwave import BitWave
+from repro.eval import EvalRequest, evaluate, to_network_evaluation
+from repro.experiments import common
+
+WORKLOAD = "cnn_lstm"
+
+
+class TestEvaluateNetworkShim:
+    def test_warns_and_matches_new_api(self, isolated_store):
+        acc = build_accelerator("Stripes")
+        with pytest.warns(DeprecationWarning, match="evaluate_network"):
+            legacy = acc.evaluate_network(WORKLOAD)
+        modern = evaluate(
+            EvalRequest(workload=WORKLOAD, accelerator="Stripes"))
+        assert to_network_evaluation(modern) == legacy
+
+    def test_adhoc_instance_matches_model_backend(self, isolated_store):
+        """Instances with no registry name still shim correctly."""
+        from repro.eval.backends import model_network_evaluation
+
+        acc = BitWave("dynamic", "dense", False)
+        with pytest.warns(DeprecationWarning):
+            legacy = acc.evaluate_network(WORKLOAD)
+        assert legacy == model_network_evaluation(
+            BitWave("dynamic", "dense", False), WORKLOAD)
+
+
+class TestCommonShims:
+    """Every public common helper warns AND equals the new API."""
+
+    def test_sota_evaluation(self, isolated_store):
+        with pytest.warns(DeprecationWarning):
+            legacy = common.sota_evaluation("SCNN", WORKLOAD)
+        modern = evaluate(EvalRequest(workload=WORKLOAD,
+                                      accelerator="SCNN"))
+        assert legacy == to_network_evaluation(modern)
+
+    def test_breakdown_evaluation(self, isolated_store):
+        with pytest.warns(DeprecationWarning):
+            legacy = common.breakdown_evaluation("+DF", WORKLOAD)
+        modern = evaluate(EvalRequest(workload=WORKLOAD,
+                                      accelerator="BitWave", variant="+DF"))
+        assert legacy == to_network_evaluation(modern)
+
+    def test_grids_match_eval_grids(self, isolated_store):
+        from repro.eval.grids import breakdown_grid, sota_grid
+
+        with pytest.warns(DeprecationWarning):
+            legacy_sota = common.sota_grid((WORKLOAD,),
+                                           accelerators=("Stripes",))
+        modern_sota = sota_grid((WORKLOAD,), accelerators=("Stripes",))
+        assert legacy_sota[("Stripes", WORKLOAD)] \
+            == to_network_evaluation(modern_sota[("Stripes", WORKLOAD)])
+
+        with pytest.warns(DeprecationWarning):
+            legacy_bd = common.breakdown_grid((WORKLOAD,),
+                                              variants=("Dense",))
+        modern_bd = breakdown_grid((WORKLOAD,), variants=("Dense",))
+        assert legacy_bd[("Dense", WORKLOAD)] \
+            == to_network_evaluation(modern_bd[("Dense", WORKLOAD)])
+
+    def test_shims_share_the_new_cache(self, isolated_store):
+        """A shim call and a new-API call hit one store entry."""
+        modern = evaluate(EvalRequest(workload=WORKLOAD,
+                                      accelerator="HUAA"))
+        store = common.default_store()
+        assert store is not None
+        key = EvalRequest(workload=WORKLOAD, accelerator="HUAA").key()
+        assert key in store
+        with pytest.warns(DeprecationWarning):
+            legacy = common.sota_evaluation("HUAA", WORKLOAD)
+        assert legacy == to_network_evaluation(modern)
+
+    def test_memo_identity_preserved(self, isolated_store):
+        with pytest.warns(DeprecationWarning):
+            first = common.sota_evaluation("Stripes", WORKLOAD)
+        with pytest.warns(DeprecationWarning):
+            again = common.sota_evaluation("Stripes", WORKLOAD)
+        assert again is first
