@@ -5,6 +5,7 @@ from repro.accelerators.base import (
     LayerEvaluation,
     NetworkEvaluation,
 )
+from repro.arch import ArchSpec
 from repro.accelerators.bitlet import Bitlet
 from repro.accelerators.bitwave import (
     BITWAVE_VARIANTS,
@@ -23,8 +24,13 @@ from repro.accelerators.stripes import Stripes
 SOTA_ACCELERATORS = ("SCNN", "Stripes", "Pragmatic", "Bitlet", "HUAA", "BitWave")
 
 
-def build_accelerator(name: str) -> Accelerator:
-    """Factory for the comparison benchmarks (BitWave fully enabled)."""
+def build_accelerator(name: str, arch: "ArchSpec | None" = None) -> Accelerator:
+    """Factory for the comparison benchmarks (BitWave fully enabled).
+
+    ``arch`` is the :class:`repro.arch.ArchSpec` the instance prices
+    with (technology point, SRAM port widths); every design accepts it,
+    so technology-sensitivity sweeps move the whole comparison set.
+    """
     builders = {
         "SCNN": SCNN,
         "Stripes": Stripes,
@@ -35,7 +41,7 @@ def build_accelerator(name: str) -> Accelerator:
     }
     if name not in builders:
         raise ValueError(f"unknown accelerator {name!r}; one of {SOTA_ACCELERATORS}")
-    return builders[name]()
+    return builders[name](arch=arch)
 
 
 __all__ = [

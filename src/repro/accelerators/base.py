@@ -21,10 +21,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.arch import ArchSpec, default_arch
 from repro.model.energy import EnergyBreakdown, total_energy
 from repro.model.latency import LatencyBreakdown, total_cycles
 from repro.model.mapping import SpatialUnrolling
-from repro.model.technology import CLOCK_FREQUENCY_HZ, TECH_16NM, Technology
+from repro.model.technology import CLOCK_FREQUENCY_HZ, Technology
 from repro.model.zigzag import ActivityCounts, map_layer
 from repro.sparsity.profiles import network_weight_stats
 from repro.sparsity.stats import LayerWeightStats
@@ -57,6 +58,9 @@ class NetworkEvaluation:
     accelerator: str
     network: str
     layers: list[LayerEvaluation] = field(default_factory=list)
+    #: Clock the cycle counts run at (the evaluating accelerator's
+    #: arch); runtime and TOPS derive from it.
+    clock_hz: float = CLOCK_FREQUENCY_HZ
 
     @property
     def total_cycles(self) -> float:
@@ -72,7 +76,7 @@ class NetworkEvaluation:
 
     @property
     def runtime_s(self) -> float:
-        return self.total_cycles / CLOCK_FREQUENCY_HZ
+        return self.total_cycles / self.clock_hz
 
     @property
     def effective_tops(self) -> float:
@@ -98,19 +102,35 @@ class NetworkEvaluation:
 
 
 class Accelerator:
-    """Base accelerator model; subclasses override the starred hooks."""
+    """Base accelerator model; subclasses override the starred hooks.
+
+    Every design constructs from an :class:`repro.arch.ArchSpec` (the
+    typed hardware description): the technology point prices STEP4, the
+    spec's SRAM port widths serialize the latency model's on-chip
+    streams.  ``tech`` remains accepted as an explicit override for
+    ad-hoc what-if pricing.
+    """
 
     #: Display name (subclasses set this).
     name: str = "abstract"
     #: Spatial-unrolling set; >1 entry means dynamic dataflow.
     sus: tuple[SpatialUnrolling, ...] = ()
-    #: Weight-SRAM port width in bits/cycle (Table I for BitWave).
-    sram_w_bits: int = 1024
-    #: Activation-SRAM port width in bits/cycle.
-    sram_a_bits: int = 1024
 
-    def __init__(self, tech: Technology = TECH_16NM) -> None:
-        self.tech = tech
+    def __init__(self, arch: ArchSpec | None = None,
+                 tech: Technology | None = None) -> None:
+        if arch is not None and not isinstance(arch, ArchSpec):
+            # Catch pre-refactor positional callers (the first slot
+            # used to be the Technology) with an actionable error.
+            raise TypeError(
+                f"arch must be a repro.arch.ArchSpec, got "
+                f"{type(arch).__name__}; pass a Technology via the "
+                f"tech= keyword")
+        self.arch = arch if arch is not None else default_arch()
+        self.tech = tech if tech is not None else self.arch.technology()
+        #: Weight-SRAM port width in bits/cycle (Table I for BitWave).
+        self.sram_w_bits = self.arch.sram_w_bits
+        #: Activation-SRAM port width in bits/cycle.
+        self.sram_a_bits = self.arch.sram_a_bits
 
     # ------------------------------------------------------------------
     # Hooks (STEP3): subclasses specialise these.
@@ -162,7 +182,9 @@ class Accelerator:
         self, spec: LayerSpec, stats: LayerWeightStats
     ) -> LayerEvaluation:
         su = self.select_su(spec, stats)
-        counts = map_layer(spec, su)
+        counts = map_layer(spec, su,
+                           weight_sram_bytes=self.arch.weight_sram_bytes(),
+                           act_sram_bytes=self.arch.act_sram_bytes())
         cc_mac_e = self.compute_cycles(spec, stats, su)
         compute_pj = self.compute_energy_pj(spec, stats, su)
         w_cr = self.weight_cr(spec, stats, su)
@@ -191,7 +213,9 @@ class Accelerator:
         label: str = "custom",
     ) -> NetworkEvaluation:
         """Evaluate an arbitrary layer list (e.g. a token-size sweep)."""
-        result = NetworkEvaluation(accelerator=self.name, network=label)
+        result = NetworkEvaluation(
+            accelerator=self.name, network=label,
+            clock_hz=self.arch.tech.clock_frequency_hz)
         for spec in specs:
             result.layers.append(
                 self.evaluate_layer(spec, stats_map[spec.name]))

@@ -29,14 +29,13 @@ import fnmatch
 from dataclasses import dataclass
 
 from repro.accelerators.base import Accelerator
+from repro.arch import SERIAL_COLUMNS, ArchSpec
 from repro.model.mapping import SpatialUnrolling
-from repro.model.technology import TECH_16NM, Technology
+from repro.model.technology import Technology
 from repro.sparsity.profiles import network_weight_stats
 from repro.sparsity.stats import LayerWeightStats
 from repro.workloads.nets import parse_network
 from repro.workloads.spec import LayerSpec
-
-SERIAL_COLUMNS = 8
 
 
 @dataclass(frozen=True)
@@ -117,13 +116,14 @@ BREAKDOWN_CONFIGS: dict[str, tuple[str, str, bool]] = {
 BITWAVE_VARIANTS = tuple(BREAKDOWN_CONFIGS)
 
 
-def build_bitwave_variant(variant: str) -> "BitWave":
+def build_bitwave_variant(variant: str,
+                          arch: ArchSpec | None = None) -> "BitWave":
     """Construct one rung of the Fig. 13 ablation ladder by name."""
     if variant not in BREAKDOWN_CONFIGS:
         raise ValueError(
             f"unknown BitWave variant {variant!r}; one of {BITWAVE_VARIANTS}")
     dataflow, columns, bitflip = BREAKDOWN_CONFIGS[variant]
-    return BitWave(dataflow, columns, bitflip)
+    return BitWave(dataflow, columns, bitflip, arch=arch)
 
 
 def bitflip_targets_for(network: str, layer_names: list[str]) -> dict[str, int]:
@@ -146,24 +146,36 @@ class BitWave(Accelerator):
     def __init__(
         self,
         dataflow: str = "dynamic",
-        columns: str = "sm",
-        bitflip: bool = True,
-        dense_precision: int = 8,
-        tech: Technology = TECH_16NM,
+        columns: str | None = None,
+        bitflip: bool | None = None,
+        dense_precision: int | None = None,
+        arch: ArchSpec | None = None,
+        tech: Technology | None = None,
     ) -> None:
-        """``dense_precision`` enables the ZCIP dense mode's precision
-        scaling (Section IV-A: "In dense mode, it generates shift
-        control locally based on precision configuration"): with
-        ``columns="dense"`` and weights PTQ'd to fewer bits, the array
-        streams only ``dense_precision`` columns per group and the
-        packed weight stream shrinks by ``8 / dense_precision``."""
-        super().__init__(tech)
+        """``columns`` and ``bitflip`` default to the
+        :class:`ArchSpec`'s precision/columns mode (``"sm"`` on the
+        paper preset, with Bit-Flip enabled; a ``columns="dense"`` spec
+        disables both skipping and flipping).  ``dense_precision``
+        enables the ZCIP dense mode's precision scaling (Section IV-A:
+        "In dense mode, it generates shift control locally based on
+        precision configuration"): with ``columns="dense"`` and weights
+        PTQ'd to fewer bits, the array streams only ``dense_precision``
+        columns per group and the packed weight stream shrinks by
+        ``8 / dense_precision``."""
+        super().__init__(arch, tech)
+        if columns is None:
+            columns = self.arch.columns
+        if bitflip is None:
+            bitflip = columns == "sm"
         if dataflow not in ("fixed", "dynamic"):
             raise ValueError(f"dataflow must be fixed|dynamic, got {dataflow!r}")
         if columns not in ("dense", "sm"):
             raise ValueError(f"columns must be dense|sm, got {columns!r}")
         if bitflip and columns == "dense":
             raise ValueError("bitflip requires sign-magnitude columns")
+        if dense_precision is None:
+            dense_precision = (self.arch.dense_precision
+                               if columns == "dense" else SERIAL_COLUMNS)
         if not 1 <= dense_precision <= 8:
             raise ValueError(
                 f"dense_precision must be in [1, 8], got {dense_precision}")

@@ -1,0 +1,50 @@
+"""``repro.arch``: one typed hardware-description API.
+
+Both evaluation engines -- the analytical STEP1-STEP4 model and the
+structural BitWave NPU simulator -- consume the same frozen
+:class:`ArchSpec` (PE-array geometry, BCS group size, memory widths,
+and a nested :class:`TechSpec` carrying the Table IV unit energies and
+clock).  Named presets (:data:`DEFAULT_ARCH` is the paper's system
+point) and the ``"bitwave-16nm@sram_pj=0.5+group=16"`` override grammar
+make hardware a first-class evaluation axis: ``repro.eval`` folds the
+canonical arch spelling into its cache keys and ``repro.dse`` sweeps
+``--archs`` as a campaign dimension.
+"""
+
+from repro.arch.presets import (
+    ARCH_PRESETS,
+    DEFAULT_ARCH,
+    OVERRIDE_FIELDS,
+    PRESET_DESCRIPTIONS,
+    arch_names,
+    arch_overrides,
+    canonical_arch,
+    default_arch,
+    parse_arch,
+    register_arch,
+)
+from repro.arch.spec import (
+    SEGMENT_BITS,
+    SEGMENT_KERNELS,
+    SERIAL_COLUMNS,
+    ArchSpec,
+    TechSpec,
+)
+
+__all__ = [
+    "ARCH_PRESETS",
+    "ArchSpec",
+    "DEFAULT_ARCH",
+    "OVERRIDE_FIELDS",
+    "PRESET_DESCRIPTIONS",
+    "SEGMENT_BITS",
+    "SEGMENT_KERNELS",
+    "SERIAL_COLUMNS",
+    "TechSpec",
+    "arch_names",
+    "arch_overrides",
+    "canonical_arch",
+    "default_arch",
+    "parse_arch",
+    "register_arch",
+]

@@ -1,0 +1,296 @@
+"""Typed hardware description: the one spelling of "what machine is this".
+
+The paper's results hinge on a single hardware description -- the
+Table IV 16 nm unit energies, the 250 MHz clock, the [Ku, Cu/OXu]
+PE-array unrollings, and the group-size-8 BCS datapath.  An
+:class:`ArchSpec` carries exactly that description: PE-array geometry,
+precision/columns mode, BCS group size, memory interface widths and
+sizes, and a nested :class:`TechSpec` with the technology point (unit
+energies, clock, PE areas).  Both evaluation engines consume it -- the
+analytical STEP1-STEP4 model (:mod:`repro.accelerators`) and the
+structural simulator (:class:`repro.sim.npu.BitWaveNPU`) -- so a
+campaign sweeping ``sram_pj`` or ``group`` moves both backends
+together.
+
+Specs are frozen and JSON-round-trippable (``to_dict`` / ``from_dict``
+are exact inverses); named presets and the ``@field=value`` override
+grammar live in :mod:`repro.arch.presets`.
+
+This module deliberately imports nothing from :mod:`repro.model` or
+:mod:`repro.sim` at module level (both import *us*); the conversion
+into the numeric :class:`repro.model.technology.Technology` type is a
+lazy import inside :meth:`TechSpec.technology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.model
+    from repro.model.technology import Technology
+
+#: Kernels sharing one 64-bit weight segment (Fig. 10: "64 same
+#: significance weight bits from 8 input channels across 8 kernels").
+#: Canonical home of the constant; :mod:`repro.sim.npu` re-exports it.
+SEGMENT_KERNELS = 8
+
+#: Segment granularity of the weight SRAM layout (Fig. 10).
+SEGMENT_BITS = 64
+
+#: Serial bit columns of an Int8 weight (sign + 7 magnitude planes).
+SERIAL_COLUMNS = 8
+
+
+@dataclass(frozen=True)
+class TechSpec:
+    """One technology point: unit energies, clock, and PE areas.
+
+    Defaults are the paper's 16 nm FinFET point (Section V-A/V-B
+    STEP4): Table IV per-PE powers at 250 MHz converted to per-cycle
+    energies, the DRAMPower DDR3 coefficient for off-chip traffic, and
+    the published PE synthesis areas.  All energies are picojoules.
+
+    - one 8x8 bit-parallel PE: 2.13e-2 mW -> 0.0852 pJ per MAC;
+    - eight 1x8 bit-serial PEs (one MAC-equivalent per cycle):
+      5.71e-2 mW -> 0.2284 pJ per MAC-equivalent cycle;
+    - eight 1x8 bit-column-serial PEs (one BCE): 1.71e-2 mW ->
+      0.0684 pJ per column cycle.
+
+    DDR3 streaming I/O energy ~7.5 pJ/bit (DRAMPower, activate+read
+    amortized over bursts): 60 pJ per byte.  256 KB single-port SRAM in
+    16 nm: ~0.125 pJ/bit -> 1.0 pJ per byte.  Pipeline/accumulator
+    registers: ~0.03 pJ per byte.  DDR3-1600 on a 64-bit channel
+    delivers 12.8 GB/s; against the 250 MHz accelerator clock that is
+    51 bytes/cycle, modelled as 512 bits/cycle.
+    """
+
+    # --- clock --------------------------------------------------------
+    clock_frequency_hz: float = 250e6
+    # --- energy per 8-bit element access ------------------------------
+    dram_pj_per_element: float = 60.0
+    sram_pj_per_element: float = 1.00
+    reg_pj_per_element: float = 0.03
+    # --- energy per compute operation ---------------------------------
+    mac_bit_parallel_pj: float = 0.0852
+    mac_bit_serial_cycle_pj: float = 0.2284 / 8.0   # per 1x8 lane-cycle
+    bce_column_cycle_pj: float = 0.0684 / 8.0       # per SMM lane-cycle
+    # --- interface widths ---------------------------------------------
+    dram_bits_per_cycle: int = 512
+    sram_bits_per_cycle: int = 1024
+    # --- Table IV PE synthesis areas (um^2 per 8x8-MAC equivalent) ----
+    pe_bit_parallel_area_um2: float = 98.029
+    pe_bit_serial_area_um2: float = 443.284
+    pe_bit_column_area_um2: float = 123.431
+
+    def __post_init__(self) -> None:
+        for name in (
+            "clock_frequency_hz", "dram_pj_per_element",
+            "sram_pj_per_element", "reg_pj_per_element",
+            "mac_bit_parallel_pj", "mac_bit_serial_cycle_pj",
+            "bce_column_cycle_pj", "pe_bit_parallel_area_um2",
+            "pe_bit_serial_area_um2", "pe_bit_column_area_um2",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(
+                    f"TechSpec.{name} must be positive, "
+                    f"got {getattr(self, name)}")
+        for name in ("dram_bits_per_cycle", "sram_bits_per_cycle"):
+            value = getattr(self, name)
+            if value < 8 or value % 8:
+                raise ValueError(
+                    f"TechSpec.{name} must be a positive multiple of 8 "
+                    f"bits, got {value}")
+
+    # ------------------------------------------------------------------
+    def technology(self) -> "Technology":
+        """The numeric :class:`repro.model.technology.Technology` view
+        the STEP4 pricing functions consume."""
+        from repro.model.technology import Technology
+
+        return Technology(
+            dram_pj_per_element=self.dram_pj_per_element,
+            sram_pj_per_element=self.sram_pj_per_element,
+            reg_pj_per_element=self.reg_pj_per_element,
+            mac_bit_parallel_pj=self.mac_bit_parallel_pj,
+            mac_bit_serial_cycle_pj=self.mac_bit_serial_cycle_pj,
+            bce_column_cycle_pj=self.bce_column_cycle_pj,
+            dram_bits_per_cycle=self.dram_bits_per_cycle,
+            sram_bits_per_cycle=self.sram_bits_per_cycle,
+        )
+
+    def pe_type_table(self) -> dict[str, dict[str, float]]:
+        """Table IV at this technology point: area and power per PE type.
+
+        Power is the per-8x8-MAC-equivalent cycle energy times the
+        clock (``pJ x GHz = mW``); at the default 250 MHz point this
+        reproduces the published Table IV milliwatts exactly.
+        """
+        ghz = self.clock_frequency_hz / 1e9
+        return {
+            "bit_parallel": {
+                "area_um2": self.pe_bit_parallel_area_um2,
+                "power_mw": self.mac_bit_parallel_pj * ghz,
+            },
+            "bit_serial": {
+                "area_um2": self.pe_bit_serial_area_um2,
+                "power_mw": self.mac_bit_serial_cycle_pj
+                * SERIAL_COLUMNS * ghz,
+            },
+            "bit_column_serial": {
+                "area_um2": self.pe_bit_column_area_um2,
+                "power_mw": self.bce_column_cycle_pj
+                * SERIAL_COLUMNS * ghz,
+            },
+        }
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {name: getattr(self, name)
+                for name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TechSpec":
+        return cls(**{name: data[name] for name in cls.__dataclass_fields__
+                      if name in data})
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """One hardware design point of the BitWave-style NPU.
+
+    ``group_size`` / ``ku`` / ``oxu`` are the PE-array unrolling the
+    structural simulator executes (the default is Table I's SU1:
+    [Cu=8, OXu=16, Ku=32] with its 256/1024-bit fetch bandwidths);
+    ``sram_w_bits`` / ``sram_a_bits`` are the weight/activation SRAM
+    port widths the analytical latency model serializes traffic
+    through (Table I); ``columns`` selects the ZCIP column mode
+    (``"sm"`` skips zero sign-magnitude columns, ``"dense"`` streams
+    the ``dense_precision`` schedule locally, Section IV-A); ``n_bce``
+    and ``sram_kb`` scale the Fig. 18 area/power breakdown, and
+    ``sram_kb`` also sets the mapper's/epilog's fusion thresholds
+    (see :meth:`weight_sram_bytes`).
+    """
+
+    # --- PE-array geometry (the simulated unrolling) ------------------
+    group_size: int = 8
+    ku: int = 32
+    oxu: int = 16
+    weight_bw_bits: int = 256
+    act_bw_bits: int = 1024
+    # --- memory hierarchy ---------------------------------------------
+    sram_w_bits: int = 1024
+    sram_a_bits: int = 1024
+    # --- precision / columns mode -------------------------------------
+    columns: str = "sm"
+    dense_precision: int = 8
+    # --- system scale (area/power model) ------------------------------
+    n_bce: int = 512
+    sram_kb: int = 512
+    # --- technology point ---------------------------------------------
+    tech: TechSpec = field(default_factory=TechSpec)
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1:
+            raise ValueError(
+                f"group_size must be >= 1, got {self.group_size}")
+        if self.ku < SEGMENT_KERNELS or self.ku % SEGMENT_KERNELS:
+            # The fetcher streams Ku/8 parallel segments (Fig. 10 packs
+            # 8 kernels per 64-bit weight segment); a Ku off the segment
+            # grid would silently mis-account stream parallelism.
+            raise ValueError(
+                f"ku must be a positive multiple of the "
+                f"{SEGMENT_KERNELS}-kernel weight-segment width, "
+                f"got {self.ku}")
+        if self.oxu < 1:
+            raise ValueError(f"oxu must be >= 1, got {self.oxu}")
+        if self.weight_bw_bits < SEGMENT_BITS or \
+                self.weight_bw_bits % SEGMENT_BITS:
+            raise ValueError(
+                f"weight_bw_bits must be a positive multiple of the "
+                f"{SEGMENT_BITS}-bit segment, got {self.weight_bw_bits}")
+        for name in ("act_bw_bits", "sram_w_bits", "sram_a_bits"):
+            value = getattr(self, name)
+            if value < 8 or value % 8:
+                raise ValueError(
+                    f"{name} must be a positive multiple of 8 bits, "
+                    f"got {value}")
+        if self.columns not in ("sm", "dense"):
+            raise ValueError(
+                f"columns must be 'sm' or 'dense', got {self.columns!r}")
+        if not 1 <= self.dense_precision <= SERIAL_COLUMNS:
+            raise ValueError(
+                f"dense_precision must be in [1, {SERIAL_COLUMNS}], "
+                f"got {self.dense_precision}")
+        for name in ("n_bce", "sram_kb"):
+            if getattr(self, name) < 1:
+                raise ValueError(
+                    f"{name} must be >= 1, got {getattr(self, name)}")
+        if not isinstance(self.tech, TechSpec):
+            raise TypeError(
+                f"tech must be a TechSpec, got {type(self.tech).__name__}")
+
+    # -- derived views -------------------------------------------------
+    def technology(self) -> "Technology":
+        """The STEP4 :class:`Technology` of this design point."""
+        return self.tech.technology()
+
+    # The one home of the on-chip capacity split: ``sram_kb`` divides
+    # evenly into weight and activation halves (the paper's 256 KB +
+    # 256 KB), and the activation fusion tile is half the activation
+    # SRAM -- the analytical mapper (:func:`repro.model.zigzag
+    # .map_layer`) and the sim energy epilog (:mod:`repro.eval
+    # .lowering`) both consume these, so the fusion/re-stream
+    # thresholds cannot drift between the backends.
+    def weight_sram_bytes(self) -> int:
+        """Weight-SRAM capacity (bytes)."""
+        return self.sram_kb * 1024 // 2
+
+    def act_sram_bytes(self) -> int:
+        """Activation-SRAM capacity (bytes)."""
+        return self.sram_kb * 1024 // 2
+
+    def act_fusion_tile_bytes(self) -> int:
+        """Activation elements that fuse on chip (never visit DRAM)."""
+        from repro.model.zigzag import act_fusion_tile_bytes
+
+        return act_fusion_tile_bytes(self.act_sram_bytes())
+
+    def pe_type_table(self) -> dict[str, dict[str, float]]:
+        """Table IV (area/power per PE type) at this tech point."""
+        return self.tech.pe_type_table()
+
+    def area_breakdown(self) -> dict[str, float]:
+        """Fig. 18 component areas (mm^2) at this system scale."""
+        from repro.model.area import bitwave_area_breakdown
+
+        return bitwave_area_breakdown(n_bce=self.n_bce, sram_kb=self.sram_kb)
+
+    def power_breakdown(self) -> dict[str, float]:
+        """Fig. 18 component powers (mW) at this system scale."""
+        from repro.model.area import bitwave_power_breakdown
+
+        return bitwave_power_breakdown(n_bce=self.n_bce, sram_kb=self.sram_kb)
+
+    def with_tech(self, **overrides: Any) -> "ArchSpec":
+        """A copy with :class:`TechSpec` fields replaced."""
+        return replace(self, tech=replace(self.tech, **overrides))
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__ if name != "tech"
+        }
+        data["tech"] = self.tech.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArchSpec":
+        kwargs: dict[str, Any] = {
+            name: data[name] for name in cls.__dataclass_fields__
+            if name != "tech" and name in data
+        }
+        if "tech" in data:
+            kwargs["tech"] = TechSpec.from_dict(data["tech"])
+        return cls(**kwargs)

@@ -22,6 +22,13 @@ Examples::
     python -m repro.dse run --name tokens --accelerators BitWave \\
         --networks bert_base@tokens=4,bert_base@tokens=64
 
+    # The hardware description is a campaign axis (repro.arch): sweep
+    # technology parameters and PE-array geometry over both backends,
+    # one distinctly-hashed record per arch override.
+    python -m repro.dse run --name tech-sense --accelerators BitWave \\
+        --networks cnn_lstm --backends model,sim-vectorized \\
+        --archs bitwave-16nm,bitwave-16nm@dram_pj=30+group=16
+
     # Summaries read the store only -- no evaluation.  --format json
     # emits machine-readable rows for scripting and dashboards.
     python -m repro.dse summary --spec campaign.json --format json
@@ -40,6 +47,7 @@ import json
 import sys
 from typing import Sequence
 
+from repro.arch import arch_names
 from repro.dse.executor import run_campaign
 from repro.dse.simcampaign import (
     SimCampaignSpec,
@@ -87,6 +95,13 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
                         help="comma-separated evaluation backends "
                              f"(default: model; known: "
                              f"{','.join(backend_names())})")
+    parser.add_argument("--archs", type=_csv, default=(),
+                        metavar="A,B",
+                        help="comma-separated hardware design points "
+                             "(repro.arch preset spellings, e.g. "
+                             "bitwave-16nm@sram_pj=0.5+group=16; "
+                             f"presets: {','.join(arch_names())}; "
+                             "default: bitwave-16nm)")
 
 
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
@@ -111,6 +126,7 @@ def _inline_spec(args: argparse.Namespace) -> CampaignSpec:
         networks=args.networks,
         variants=args.variants,
         backends=args.backends or ("model",),
+        archs=args.archs,
     )
     spec.validate()
     return spec
@@ -119,7 +135,7 @@ def _inline_spec(args: argparse.Namespace) -> CampaignSpec:
 def _load_spec(args: argparse.Namespace) -> CampaignSpec:
     if args.spec:
         if args.accelerators or args.networks or args.variants \
-                or args.backends:
+                or args.backends or args.archs:
             raise SystemExit("--spec and inline grid flags are exclusive")
         return CampaignSpec.from_json(args.spec)
     return _inline_spec(args)
@@ -134,7 +150,8 @@ def _emit_json(payload: object) -> None:
 
 
 def _cmd_init(args: argparse.Namespace) -> int:
-    if args.accelerators or args.networks or args.variants or args.backends:
+    if args.accelerators or args.networks or args.variants \
+            or args.backends or args.archs:
         spec = _inline_spec(args)
     else:
         spec = paper_grid(args.name)

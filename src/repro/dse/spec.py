@@ -28,6 +28,7 @@ from repro.accelerators import (
     build_bitwave_variant,
 )
 from repro.accelerators.base import Accelerator
+from repro.arch import DEFAULT_ARCH, canonical_arch, parse_arch
 from repro.eval.fingerprints import code_fingerprint  # noqa: F401  (re-export)
 from repro.eval.registry import backend_names, get_backend
 from repro.eval.request import MODEL_BACKEND, config_hash  # noqa: F401
@@ -36,26 +37,28 @@ from repro.eval.result import EvalResult
 from repro.workloads.nets import parse_network
 
 #: Bump when the meaning of a point's fields changes (keys include it).
-SPEC_VERSION = 2
+SPEC_VERSION = 3
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 
 @dataclass(frozen=True)
 class EvalPoint:
-    """One (accelerator configuration, network, backend) grid point.
+    """One (accelerator configuration, network, backend, arch) grid point.
 
     ``variant`` selects a rung of the BitWave ablation ladder
     (:data:`repro.accelerators.BITWAVE_VARIANTS`); when ``None`` the
     point is the fully-enabled comparison build of ``accelerator``.
     ``backend`` names a registered :class:`repro.eval.EvalBackend`
-    (default: the analytical model).
+    (default: the analytical model).  ``arch`` names the hardware
+    design point (:mod:`repro.arch` preset + overrides).
     """
 
     accelerator: str
     network: str
     variant: str | None = None
     backend: str = MODEL_BACKEND
+    arch: str = DEFAULT_ARCH
 
     def __post_init__(self) -> None:
         # The fully-enabled ablation rung IS the SotA comparison build
@@ -63,6 +66,11 @@ class EvalPoint:
         # canonicalize to one point and share one store entry.
         if self.accelerator == "BitWave" and self.variant == FULL_BITWAVE_VARIANT:
             object.__setattr__(self, "variant", None)
+        # One spelling per arch design point (no-op overrides dropped).
+        try:
+            object.__setattr__(self, "arch", canonical_arch(self.arch))
+        except ValueError:
+            pass  # left verbatim; validate() reports the real error
 
     def request(self) -> EvalRequest:
         """The :mod:`repro.eval` request this point names."""
@@ -71,6 +79,7 @@ class EvalPoint:
             accelerator=self.accelerator,
             variant=self.variant,
             backend=self.backend,
+            arch=self.arch,
         )
 
     def validate(self) -> None:
@@ -88,9 +97,10 @@ class EvalPoint:
     def build(self) -> Accelerator:
         """The modelled accelerator instance (model-backend points)."""
         self.validate()
+        arch = parse_arch(self.arch)
         if self.variant is None:
-            return build_accelerator(self.accelerator)
-        return build_bitwave_variant(self.variant)
+            return build_accelerator(self.accelerator, arch)
+        return build_bitwave_variant(self.variant, arch)
 
     def evaluate(self) -> EvalResult:
         """Compute (never cache) this point through its backend."""
@@ -105,6 +115,7 @@ class EvalPoint:
             "network": self.network,
             "variant": self.variant,
             "backend": self.backend,
+            "arch": self.arch,
         }
 
     @classmethod
@@ -114,6 +125,7 @@ class EvalPoint:
             network=data["network"],
             variant=data.get("variant"),
             backend=data.get("backend", MODEL_BACKEND),
+            arch=data.get("arch", DEFAULT_ARCH),
         )
 
     def key(self) -> str:
@@ -145,7 +157,11 @@ class CampaignSpec:
     ``backends`` crosses the grid with evaluation backends; simulator
     backends implement the fully-enabled BitWave datapath only, so they
     expand against the BitWave accelerator column alone (ablation
-    rungs and other accelerators stay model-backed).
+    rungs and other accelerators stay model-backed).  ``archs`` crosses
+    the grid with hardware design points (:mod:`repro.arch` preset
+    spellings, e.g. ``"bitwave-16nm@sram_pj=0.5"``), enabling
+    store-backed technology-sensitivity sweeps over both backends;
+    empty means the default arch.
     """
 
     name: str
@@ -153,6 +169,7 @@ class CampaignSpec:
     networks: tuple[str, ...] = ()
     variants: tuple[str, ...] = ()
     backends: tuple[str, ...] = (MODEL_BACKEND,)
+    archs: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "accelerators", tuple(self.accelerators))
@@ -160,6 +177,7 @@ class CampaignSpec:
         object.__setattr__(self, "variants", tuple(self.variants))
         object.__setattr__(self, "backends",
                            tuple(self.backends) or (MODEL_BACKEND,))
+        object.__setattr__(self, "archs", tuple(self.archs))
 
     def validate(self) -> None:
         if not self.name or not _NAME_RE.match(self.name):
@@ -169,6 +187,14 @@ class CampaignSpec:
         _check_subset("accelerator", self.accelerators, SOTA_ACCELERATORS)
         _check_subset("variant", self.variants, BITWAVE_VARIANTS)
         _check_subset("backend", self.backends, backend_names())
+        seen_archs: set[str] = set()
+        for arch in self.archs:
+            spelling = canonical_arch(arch)  # raises on unknown/bad specs
+            if spelling in seen_archs:
+                raise ValueError(
+                    f"duplicate arch {arch!r} in campaign "
+                    f"(canonical spelling {spelling!r})")
+            seen_archs.add(spelling)
         if not self.networks:
             raise ValueError("campaign needs at least one network")
         if not self.accelerators and not self.variants:
@@ -183,17 +209,20 @@ class CampaignSpec:
         """
         self.validate()
         points: list[EvalPoint] = []
-        for backend in self.backends:
-            model = backend == MODEL_BACKEND
-            for network in self.networks:
-                for accelerator in self.accelerators:
-                    if model or accelerator == "BitWave":
-                        points.append(EvalPoint(
-                            accelerator, network, backend=backend))
-                if model:
-                    for variant in self.variants:
-                        points.append(EvalPoint(
-                            "BitWave", network, variant=variant))
+        for arch in self.archs or (DEFAULT_ARCH,):
+            for backend in self.backends:
+                model = backend == MODEL_BACKEND
+                for network in self.networks:
+                    for accelerator in self.accelerators:
+                        if model or accelerator == "BitWave":
+                            points.append(EvalPoint(
+                                accelerator, network, backend=backend,
+                                arch=arch))
+                    if model:
+                        for variant in self.variants:
+                            points.append(EvalPoint(
+                                "BitWave", network, variant=variant,
+                                arch=arch))
         unique = []
         seen: set[str] = set()
         for point in points:
@@ -221,6 +250,7 @@ class CampaignSpec:
             "networks": list(self.networks),
             "variants": list(self.variants),
             "backends": list(self.backends),
+            "archs": list(self.archs),
         }
 
     @classmethod
@@ -231,6 +261,7 @@ class CampaignSpec:
             networks=tuple(data.get("networks", ())),
             variants=tuple(data.get("variants", ())),
             backends=tuple(data.get("backends", (MODEL_BACKEND,))),
+            archs=tuple(data.get("archs", ())),
         )
 
     def to_json(self, path: str | Path) -> None:

@@ -14,10 +14,12 @@ from repro.utils.tables import format_table
 class Metric(NamedTuple):
     """A named summary column / Pareto objective.
 
-    ``extract`` returns ``None`` when the backend does not model the
-    underlying quantity (e.g. energy on the structural simulator), so
-    unmodeled metrics read as *missing* -- never as a best-possible
-    zero or a JSON-hostile infinity.
+    ``extract`` returns ``None`` when the record genuinely lacks the
+    underlying quantity -- only results deserialized from stores
+    written before the simulator gained its energy epilog
+    (``EvalResult.models_energy`` is ``False``); every current backend
+    prices energy.  Unpriced metrics read as *missing* -- never as a
+    best-possible zero or a JSON-hostile infinity.
     """
 
     extract: Callable[[EvalResult], float | None]
@@ -65,6 +67,7 @@ def summary_data(spec: CampaignSpec,
             "config": point.config_label,
             "network": point.network,
             "backend": point.backend,
+            "arch": point.arch,
             "stored": result is not None,
         }
         for name in _TABLE_COLUMNS:
@@ -104,8 +107,9 @@ def campaign_pareto(
 
     Each objective's sense comes from the metric registry (cycles and
     energy minimize; TOPS/W maximizes).  Points missing from the store
-    -- or whose backend does not model one of the objectives -- are
-    skipped rather than ranked on a fictitious value.
+    -- or legacy records genuinely lacking one of the objectives (old
+    unpriced sim-energy stores) -- are skipped rather than ranked on a
+    fictitious value.
     """
     mx, my = resolve_metric(x), resolve_metric(y)
     router = StoreRouter(store)
@@ -134,6 +138,7 @@ def pareto_data(
             "config": point.config_label,
             "network": point.network,
             "backend": point.backend,
+            "arch": point.arch,
             x: vx,
             y: vy,
         }

@@ -6,10 +6,13 @@ structural BitWave NPU simulator.  This package is the contract both
 plug into:
 
 - :class:`EvalRequest` -- workload x accelerator/variant x backend x
-  options, hashing to a stable store key;
+  arch x options, hashing to a stable store key (the canonical
+  :mod:`repro.arch` spelling folds in, so overridden-arch results
+  never collide with cached defaults);
 - :class:`EvalResult` -- the canonical metrics schema (cycles,
-  energy_pj, macs, per-layer breakdowns, traffic) with
-  ``effective_tops`` / ``efficiency_tops_per_w`` derived uniformly;
+  energy_pj, macs, per-layer breakdowns, traffic, the arch's clock)
+  with ``effective_tops`` / ``efficiency_tops_per_w`` derived
+  uniformly;
 - :class:`EvalBackend` + a registry with three built-ins (``model``,
   ``sim-vectorized``, ``sim-reference``);
 - :func:`evaluate` -- the single entry point, with store-backed caching

@@ -6,19 +6,28 @@
 - ``sim-vectorized`` / ``sim-reference`` lower each workload layer onto
   a :class:`repro.sim.npu.BitWaveNPU` run (see
   :mod:`repro.eval.lowering`) -- whole-network layer tables simulated
-  structurally, not just modelled.  Simulator results report cycles and
-  traffic (no energy model) plus, per layer, the matched analytical
-  compute-cycle prediction and its deviation, so every sim-backed
-  result doubles as a Section V-B style model-validation point.
+  structurally, not just modelled.  Simulator results report cycles,
+  traffic *and* energy (the counters priced with the arch's
+  :class:`repro.arch.TechSpec`) plus, per layer, the matched analytical
+  compute-cycle and energy predictions and their deviations, so every
+  sim-backed result doubles as a Section V-B style model-validation
+  point.
+
+Both backends construct their machine from the request's ``arch`` axis
+(:mod:`repro.arch`): the model prices with the arch's technology and
+SRAM port widths, the simulator executes the arch's PE-array geometry.
 """
 
 from __future__ import annotations
 
 from repro.accelerators import build_accelerator, build_bitwave_variant
 from repro.accelerators.base import Accelerator, NetworkEvaluation
+from repro.arch import ArchSpec, parse_arch
 from repro.eval.fingerprints import code_fingerprint, sim_backend_fingerprint
 from repro.eval.lowering import (
     analytic_compute_cycles,
+    analytic_energy_pj,
+    energy_deviation,
     layer_matmul_weights,
     layer_stats_for_sim,
     matmul_reduction,
@@ -34,9 +43,10 @@ from repro.workloads.nets import network_layers
 
 def build_request_accelerator(request: EvalRequest) -> Accelerator:
     """The accelerator instance a request's configuration names."""
+    arch = parse_arch(request.arch)
     if request.variant is None:
-        return build_accelerator(request.accelerator)
-    return build_bitwave_variant(request.variant)
+        return build_accelerator(request.accelerator, arch)
+    return build_bitwave_variant(request.variant, arch)
 
 
 def model_network_evaluation(
@@ -66,10 +76,12 @@ class ModelBackend:
 
     def evaluate(self, request: EvalRequest) -> EvalResult:
         request.validate()
+        accelerator = build_request_accelerator(request)
         evaluation = model_network_evaluation(
-            build_request_accelerator(request), request.workload,
-            request.options)
-        return from_network_evaluation(evaluation, backend=self.name)
+            accelerator, request.workload, request.options)
+        return from_network_evaluation(
+            evaluation, backend=self.name,
+            clock_hz=accelerator.arch.tech.clock_frequency_hz)
 
 
 class SimBackend:
@@ -85,36 +97,41 @@ class SimBackend:
     def evaluate(self, request: EvalRequest) -> EvalResult:
         request.validate()
         options = request.options
+        arch: ArchSpec = parse_arch(request.arch)
         layers = []
         for spec in network_layers(request.workload, batch=options.batch):
-            npu = BitWaveNPU(
-                group_size=options.sim_group_size,
-                ku=options.sim_ku,
-                oxu=options.sim_oxu,
-                backend=self.datapath,
-            )
+            npu = BitWaveNPU(arch=arch, backend=self.datapath)
             weights = layer_matmul_weights(spec)
             run = simulate_layer(spec, npu,
                                  max_contexts=options.sim_max_contexts,
                                  weights=weights)
-            stats = layer_stats_for_sim(spec, options.sim_group_size,
+            stats = layer_stats_for_sim(spec, arch.group_size,
                                         weights=weights)
             analytic = analytic_compute_cycles(
                 stats,
                 k=spec.k,
                 reduction=matmul_reduction(spec),
                 rows=run.total_rows,
-                group_size=options.sim_group_size,
-                ku=options.sim_ku,
-                oxu=options.sim_oxu,
+                group_size=arch.group_size,
+                ku=arch.ku,
+                oxu=arch.oxu,
+                dense_precision=(arch.dense_precision
+                                 if arch.columns == "dense" else None),
             )
             deviation = model_vs_sim_deviation(run.compute_cycles, analytic)
+            analytic_pj = analytic_energy_pj(
+                stats, spec,
+                k=spec.k,
+                reduction=matmul_reduction(spec),
+                rows=run.total_rows,
+                arch=arch,
+            )
             layers.append(LayerResult(
                 name=spec.name,
                 macs=spec.macs,
                 cycles=float(run.total_cycles),
-                energy_pj=0.0,
-                energy={},
+                energy_pj=run.energy.total_pj,
+                energy=run.energy.components(),
                 traffic={
                     "weight_bits_fetched": float(run.weight_bits_fetched),
                     "dense_weight_bits": float(run.dense_weight_bits),
@@ -127,6 +144,9 @@ class SimBackend:
                     "column_ops": run.column_ops,
                     "analytic_cycles": analytic,
                     "model_deviation": deviation,
+                    "analytic_energy_pj": analytic_pj,
+                    "energy_deviation": energy_deviation(
+                        run.energy.total_pj, analytic_pj),
                     "simulated_rows": run.simulated_rows,
                     "total_rows": run.total_rows,
                 },
@@ -135,6 +155,7 @@ class SimBackend:
             workload=request.workload,
             config_label=request.config_label,
             backend=self.name,
+            clock_hz=arch.tech.clock_frequency_hz,
             layers=tuple(layers),
         )
 

@@ -26,6 +26,7 @@ def _digest_tree(digest: "hashlib._Hash", package: ModuleType) -> None:
 def code_fingerprint() -> str:
     """Digest of the model/accelerator source feeding an evaluation."""
     import repro.accelerators
+    import repro.arch
     import repro.core
     import repro.model
     import repro.sparsity
@@ -33,7 +34,7 @@ def code_fingerprint() -> str:
 
     digest = hashlib.sha256()
     for package in (repro.model, repro.accelerators, repro.sparsity,
-                    repro.workloads, repro.core):
+                    repro.workloads, repro.core, repro.arch):
         _digest_tree(digest, package)
     return digest.hexdigest()[:12]
 
@@ -42,17 +43,19 @@ def code_fingerprint() -> str:
 def sim_backend_fingerprint() -> str:
     """Digest of the source feeding simulator-backed evaluations.
 
-    Covers the structural datapath, the workload tables and synthetic
-    weights it streams, the sparsity statistics behind the deviation
-    metrics, and the lowering itself.
+    Covers the structural datapath, the hardware-description package
+    whose specs configure (and whose technology prices) it, the
+    workload tables and synthetic weights it streams, the sparsity
+    statistics behind the deviation metrics, and the lowering itself.
     """
+    import repro.arch
     import repro.eval.lowering
     import repro.sim
     import repro.sparsity
     import repro.workloads
 
     digest = hashlib.sha256()
-    for package in (repro.sim, repro.workloads, repro.sparsity):
+    for package in (repro.sim, repro.workloads, repro.sparsity, repro.arch):
         _digest_tree(digest, package)
     digest.update(Path(repro.eval.lowering.__file__).read_bytes())
     return "simnet-" + digest.hexdigest()[:12]

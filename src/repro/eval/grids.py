@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro.accelerators import BITWAVE_VARIANTS, SOTA_ACCELERATORS
+from repro.arch import DEFAULT_ARCH
 from repro.eval.api import evaluate
 from repro.eval.request import EvalRequest
 from repro.eval.result import EvalResult
@@ -30,22 +31,25 @@ def evaluation(
     accelerator: str = "BitWave",
     variant: "str | None" = None,
     backend: str = "model",
+    arch: str = DEFAULT_ARCH,
 ) -> EvalResult:
     """One cached evaluation (thin :func:`evaluate` wrapper)."""
     return evaluate(EvalRequest(
         workload=workload, accelerator=accelerator,
-        variant=variant, backend=backend))
+        variant=variant, backend=backend, arch=arch))
 
 
 def sota_grid(
     networks: tuple[str, ...] = NETWORKS,
     accelerators: "tuple[str, ...] | None" = None,
     backend: str = "model",
+    arch: str = DEFAULT_ARCH,
 ) -> dict[tuple[str, str], EvalResult]:
     """``(accelerator, network) -> result`` for a sub-grid."""
     accelerators = SOTA_ACCELERATORS if accelerators is None else accelerators
     return {
-        (acc, net): evaluation(net, accelerator=acc, backend=backend)
+        (acc, net): evaluation(net, accelerator=acc, backend=backend,
+                               arch=arch)
         for net in networks
         for acc in accelerators
     }
@@ -54,11 +58,12 @@ def sota_grid(
 def breakdown_grid(
     networks: tuple[str, ...] = NETWORKS,
     variants: tuple[str, ...] = BREAKDOWN_VARIANTS,
+    arch: str = DEFAULT_ARCH,
 ) -> dict[tuple[str, str], EvalResult]:
     """``(variant, network) -> result`` for the ablation ladder."""
     return {
         (variant, net): evaluation(net, accelerator="BitWave",
-                                   variant=variant)
+                                   variant=variant, arch=arch)
         for net in networks
         for variant in variants
     }

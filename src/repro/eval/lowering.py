@@ -27,6 +27,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.arch import ArchSpec
+from repro.sim.energy import (
+    SimEnergyBreakdown,
+    fused_dram_elems,
+    price_matmul,
+    weight_stream_passes,
+)
 from repro.sim.fetcher import DataFetcher
 from repro.sim.npu import SEGMENT_KERNELS, BitWaveNPU
 from repro.sparsity.stats import LayerWeightStats, compute_layer_stats
@@ -37,6 +44,16 @@ from repro.workloads.synthetic import synthetic_weights
 
 def _ceil_div(a: int, b: int) -> int:
     return -(-a // b)
+
+
+def _sram_capacities(arch: ArchSpec) -> tuple[int, int]:
+    """(weight SRAM bytes, activation fusion-tile bytes) of a spec.
+
+    Both thresholds come from the spec's own accessors -- the same
+    split the analytical mapper consumes -- so the fusion/re-stream
+    rules cannot drift between the backends.
+    """
+    return arch.weight_sram_bytes(), arch.act_fusion_tile_bytes()
 
 
 @dataclass(frozen=True)
@@ -58,11 +75,18 @@ class SimLayerRun:
     #: Output contexts actually simulated / in the full layer.
     simulated_rows: int
     total_rows: int
+    #: Full-layer counters priced with the spec's technology
+    #: (:mod:`repro.sim.energy`).
+    energy: SimEnergyBreakdown
 
     @property
     def total_cycles(self) -> int:
         """Compute and fetch overlap; the longer stream dominates."""
         return max(self.compute_cycles, self.fetch_cycles)
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy.total_pj
 
 
 def matmul_reduction(spec: LayerSpec) -> int:
@@ -117,11 +141,32 @@ def simulate_layer(
     # cycles times the simulated block count), so this is lossless.
     compute_cycles = run.compute_cycles // blocks_sim * blocks_full
 
-    reduction = weights.shape[1]
+    k, reduction = weights.shape
     act_words = rows * reduction
     fetcher = DataFetcher(npu.fetcher.weight_bw_bits, npu.fetcher.act_bw_bits)
     fetch_cycles = fetcher.fetch_weight_columns(run.weight_bits_fetched)
     fetch_cycles += fetcher.fetch_activations(act_words)
+
+    # Energy epilog at full-layer counts.  The ZCIP payload is row-
+    # independent (weight_bits_fetched minus the per-group index bytes);
+    # every streamed column engages G lanes once per output context.
+    n_groups = _ceil_div(reduction, npu.group_size)
+    payload_bits = run.weight_bits_fetched - 8 * k * n_groups
+    weight_sram_bytes, act_tile_bytes = _sram_capacities(npu.arch)
+    energy = price_matmul(
+        npu.tech,
+        lane_cycles=float(payload_bits) * rows,
+        weight_stream_bytes=run.weight_bits_fetched / 8.0,
+        dram_act_in_elems=fused_dram_elems(spec.input_count, act_tile_bytes),
+        dram_act_out_elems=fused_dram_elems(spec.output_count,
+                                            act_tile_bytes),
+        act_elems=float(act_words),
+        out_elems=float(rows * k),
+        n_mac=float(rows) * k * reduction,
+        weight_passes=weight_stream_passes(
+            k * reduction, spec.input_count,
+            weight_sram_bytes, act_tile_bytes),
+    )
 
     return SimLayerRun(
         compute_cycles=int(compute_cycles),
@@ -132,6 +177,7 @@ def simulate_layer(
         act_words=int(act_words),
         simulated_rows=int(sim_rows),
         total_rows=int(rows),
+        energy=energy,
     )
 
 
@@ -143,6 +189,7 @@ def analytic_compute_cycles(
     group_size: int = 8,
     ku: int = 32,
     oxu: int = 16,
+    dense_precision: int | None = None,
 ) -> float:
     """BitWave's analytical compute-cycle model for one matmul.
 
@@ -151,9 +198,14 @@ def analytic_compute_cycles(
     count over its ``64 / G`` groups; ``Ku / 8`` segments stream through
     parallel banks and contexts beyond ``OXu`` serialize.  This is the
     model half of the paper's Section V-B validation (<6% vs RTL).
+    ``dense_precision`` models the ZCIP dense mode instead (every group
+    streams exactly that many columns, no skipping).
     """
-    sync_domain = max(64 // group_size, 1)
-    cpm = stats.expected_max_nz_columns(group_size, sync_domain)
+    if dense_precision is not None:
+        cpm = float(dense_precision)
+    else:
+        sync_domain = max(64 // group_size, 1)
+        cpm = stats.expected_max_nz_columns(group_size, sync_domain)
     n_segments = (_ceil_div(k, SEGMENT_KERNELS)
                   * _ceil_div(reduction, group_size))
     streams = max(ku // SEGMENT_KERNELS, 1)
@@ -172,6 +224,61 @@ def layer_stats_for_sim(
     return compute_layer_stats(weights, group_sizes=(group_size,))
 
 
+def analytic_energy_pj(
+    stats: LayerWeightStats,
+    spec: LayerSpec,
+    k: int,
+    reduction: int,
+    rows: int,
+    arch: ArchSpec,
+) -> float:
+    """The analytical model's energy for one lowered matmul (eq. (4)).
+
+    The statistics-derived half of the sim-energy validation: BCS
+    compression from ``stats.bcs_cr`` instead of the counted stream,
+    mean non-zero columns instead of the summed sync counters, the same
+    fusion thresholds and unit energies.  The per-layer deviation from
+    the simulator's counter-priced energy is reported next to the
+    compute-cycle deviation (:func:`model_vs_sim_deviation`).
+    """
+    group_size = arch.group_size
+    n_mac = float(rows) * k * reduction
+    if arch.columns == "dense":
+        # ZCIP dense mode: every group streams exactly the configured
+        # precision; the packed stream keeps its per-group index byte
+        # (matching the simulator's fetch counters).
+        mean_columns = float(arch.dense_precision)
+        weight_elems = (k * reduction * arch.dense_precision / 8.0
+                        + k * _ceil_div(reduction, group_size))
+    else:
+        mean_columns = max(stats.mean_nz_columns(group_size), 0.0)
+        weight_elems = k * reduction / stats.bcs_cr[group_size]
+    weight_sram_bytes, act_tile_bytes = _sram_capacities(arch)
+    # Same pricing function as the simulator's epilog -- only the
+    # inputs differ (statistics-derived instead of counted).
+    return price_matmul(
+        arch.technology(),
+        lane_cycles=n_mac * mean_columns,
+        weight_stream_bytes=weight_elems,
+        dram_act_in_elems=fused_dram_elems(spec.input_count, act_tile_bytes),
+        dram_act_out_elems=fused_dram_elems(spec.output_count,
+                                            act_tile_bytes),
+        act_elems=float(rows) * reduction,
+        out_elems=float(rows) * k,
+        n_mac=n_mac,
+        weight_passes=weight_stream_passes(
+            k * reduction, spec.input_count,
+            weight_sram_bytes, act_tile_bytes),
+    ).total_pj
+
+
 def model_vs_sim_deviation(simulated_cycles: int, analytic: float) -> float:
     """Relative deviation of the analytical model from the simulator."""
     return abs(simulated_cycles - analytic) / simulated_cycles
+
+
+def energy_deviation(simulated_pj: float, analytic_pj: float) -> float:
+    """Relative deviation of the analytical energy from the simulator's."""
+    if simulated_pj == 0.0:
+        return 0.0 if analytic_pj == 0.0 else float("inf")
+    return abs(simulated_pj - analytic_pj) / simulated_pj

@@ -15,10 +15,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.arch import DEFAULT_ARCH, canonical_arch, parse_arch
 from repro.workloads.nets import canonical_network, parse_network
 
 #: Bump when the meaning of a request's fields changes (keys include it).
-REQUEST_VERSION = 2
+REQUEST_VERSION = 3
 
 #: The default backend (the analytical STEP1-STEP4 model).
 MODEL_BACKEND = "model"
@@ -40,31 +41,26 @@ def config_hash(config: Mapping[str, Any]) -> str:
 
 @dataclass(frozen=True)
 class EvalOptions:
-    """Backend-tunable evaluation knobs.
+    """Backend-tunable *evaluation* knobs (not hardware).
 
-    ``batch`` scales every layer of the workload; the ``sim_*`` fields
-    configure the structural simulator (ignored by the ``model``
-    backend) -- BCS group size, kernel/spatial unrolls, and the cap on
-    simulated output contexts per layer.  Context blocks beyond
-    ``sim_max_contexts`` serialize identically in the datapath, so the
-    simulator runs a truncated activation set and rescales the cycle
-    and traffic counts exactly (see :mod:`repro.eval.lowering`);
-    ``0`` simulates every context.
+    ``batch`` scales every layer of the workload.  ``sim_max_contexts``
+    caps the output contexts the structural simulator actually runs per
+    layer: context blocks beyond the cap serialize identically in the
+    datapath, so the simulator runs a truncated activation set and
+    rescales the cycle/traffic/energy counts exactly (see
+    :mod:`repro.eval.lowering`); ``0`` simulates every context.
+
+    The hardware itself -- BCS group size, kernel/spatial unrolls,
+    bandwidths, technology -- is the request's ``arch`` axis
+    (:mod:`repro.arch`), shared by every backend.
     """
 
     batch: int = 1
-    sim_group_size: int = 8
-    sim_ku: int = 32
-    sim_oxu: int = 16
     sim_max_contexts: int = 64
 
     def validate(self) -> None:
         if self.batch < 1:
             raise ValueError(f"batch must be >= 1, got {self.batch}")
-        for name in ("sim_group_size", "sim_ku", "sim_oxu"):
-            if getattr(self, name) < 1:
-                raise ValueError(
-                    f"{name} must be >= 1, got {getattr(self, name)}")
         if self.sim_max_contexts < 0:
             raise ValueError(
                 f"sim_max_contexts must be >= 0, got {self.sim_max_contexts}")
@@ -72,14 +68,22 @@ class EvalOptions:
     def to_dict(self) -> dict[str, Any]:
         return {
             "batch": self.batch,
-            "sim_group_size": self.sim_group_size,
-            "sim_ku": self.sim_ku,
-            "sim_oxu": self.sim_oxu,
             "sim_max_contexts": self.sim_max_contexts,
         }
 
+    #: Pre-arch option keys whose meaning moved to the request's arch
+    #: axis; deserializing them silently onto default hardware would
+    #: change the numbers, so the migration is loud instead.
+    _MOVED_TO_ARCH = ("sim_group_size", "sim_ku", "sim_oxu")
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "EvalOptions":
+        moved = [name for name in cls._MOVED_TO_ARCH if name in data]
+        if moved:
+            raise ValueError(
+                f"legacy option keys {moved} now live on the arch axis; "
+                f"respell the request with e.g. "
+                f"arch='bitwave-16nm@group=16+ku=64+oxu=8'")
         return cls(**{name: data[name] for name in cls.__dataclass_fields__
                       if name in data})
 
@@ -92,13 +96,19 @@ class EvalRequest:
     registry, optionally parametrized (``"bert_base@tokens=128"``).
     ``variant`` selects a rung of the BitWave ablation ladder; ``None``
     is the fully-enabled comparison build.  ``backend`` names a
-    registered :class:`repro.eval.registry.EvalBackend`.
+    registered :class:`repro.eval.registry.EvalBackend`.  ``arch`` is
+    the hardware description both backends evaluate on -- an
+    :mod:`repro.arch` preset name, optionally overridden
+    (``"bitwave-16nm@sram_pj=0.5+group=16"``); it folds into the
+    request's cache key, so overridden-arch results never collide with
+    cached defaults.
     """
 
     workload: str
     accelerator: str = "BitWave"
     variant: str | None = None
     backend: str = MODEL_BACKEND
+    arch: str = DEFAULT_ARCH
     options: EvalOptions = field(default_factory=EvalOptions)
 
     def __post_init__(self) -> None:
@@ -114,12 +124,19 @@ class EvalRequest:
                                canonical_network(self.workload))
         except ValueError:
             pass  # left verbatim; validate() reports the real error
+        # And arch spellings: no-op overrides dropped, the rest sorted,
+        # so "bitwave-16nm@group=8" == "bitwave-16nm".
+        try:
+            object.__setattr__(self, "arch", canonical_arch(self.arch))
+        except ValueError:
+            pass  # left verbatim; validate() reports the real error
 
     def validate(self) -> None:
         from repro.accelerators import BITWAVE_VARIANTS, SOTA_ACCELERATORS
         from repro.eval.registry import backend_names
 
         parse_network(self.workload)  # raises on unknown/bad parameters
+        parse_arch(self.arch)  # raises on unknown presets/fields/values
         self.options.validate()
         if self.backend not in backend_names():
             raise ValueError(
@@ -156,6 +173,8 @@ class EvalRequest:
             label = f"BitWave[{self.variant}]"
         if self.backend != MODEL_BACKEND:
             label = f"{label}@{self.backend}"
+        if self.arch != DEFAULT_ARCH:
+            label = f"{label}({self.arch})"
         return label
 
     @property
@@ -169,6 +188,7 @@ class EvalRequest:
             "accelerator": self.accelerator,
             "variant": self.variant,
             "backend": self.backend,
+            "arch": self.arch,
             "options": self.options.to_dict(),
         }
 
@@ -179,6 +199,7 @@ class EvalRequest:
             accelerator=data["accelerator"],
             variant=data.get("variant"),
             backend=data.get("backend", MODEL_BACKEND),
+            arch=data.get("arch", DEFAULT_ARCH),
             options=EvalOptions.from_dict(data.get("options", {})),
         )
 

@@ -26,7 +26,7 @@ from repro.model.technology import CLOCK_FREQUENCY_HZ
 from repro.model.zigzag import ActivityCounts
 
 #: Bump when the result layout changes (stored records include it).
-RESULT_VERSION = 2
+RESULT_VERSION = 3
 
 #: Energy component keys (Fig. 16's categories), in reporting order.
 ENERGY_COMPONENTS = ("dram", "sram", "reg", "compute")
@@ -88,6 +88,9 @@ class EvalResult:
     config_label: str
     backend: str
     layers: tuple[LayerResult, ...] = ()
+    #: Clock the cycle counts run at (the arch's TechSpec); runtime and
+    #: TOPS derive from it, so clock sweeps move every derived metric.
+    clock_hz: float = CLOCK_FREQUENCY_HZ
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "layers", tuple(self.layers))
@@ -108,15 +111,19 @@ class EvalResult:
     # -- derived metrics (uniform across backends) ---------------------
     @property
     def models_energy(self) -> bool:
-        """Whether this backend priced energy at all (the structural
-        simulator reports cycles and traffic only).  Consumers ranking
-        or serializing energy metrics should treat unmodeled energy as
-        missing, not as zero."""
+        """Whether this result carries priced energy.
+
+        Every current backend prices energy (the structural simulator
+        gained its epilog with ``repro.arch``); ``False`` only for
+        genuinely unpriced records -- results deserialized from stores
+        written before the sim-energy epilog existed.  Consumers
+        ranking or serializing energy metrics should treat unpriced
+        energy as missing, not as zero."""
         return any(layer.energy for layer in self.layers)
 
     @property
     def runtime_s(self) -> float:
-        return self.total_cycles / CLOCK_FREQUENCY_HZ
+        return self.total_cycles / self.clock_hz
 
     @property
     def effective_tops(self) -> float:
@@ -127,8 +134,8 @@ class EvalResult:
     def efficiency_tops_per_w(self) -> float:
         """Useful operations per joule (Fig. 17's metric).
 
-        ``inf`` when the backend does not model energy (the structural
-        simulator reports cycles and traffic only).
+        ``inf`` only for legacy unpriced results (see
+        :attr:`models_energy`); consumers should gate on that flag.
         """
         joules = self.total_energy_pj * 1e-12
         if joules == 0.0:
@@ -159,6 +166,7 @@ class EvalResult:
             "workload": self.workload,
             "config_label": self.config_label,
             "backend": self.backend,
+            "clock_hz": self.clock_hz,
             "layers": [layer.to_dict() for layer in self.layers],
         }
 
@@ -168,6 +176,7 @@ class EvalResult:
             workload=data["workload"],
             config_label=data["config_label"],
             backend=data.get("backend", "model"),
+            clock_hz=data.get("clock_hz", CLOCK_FREQUENCY_HZ),
             layers=tuple(LayerResult.from_dict(entry)
                          for entry in data["layers"]),
         )
@@ -206,13 +215,20 @@ def layer_from_evaluation(layer: LayerEvaluation) -> LayerResult:
 
 
 def from_network_evaluation(
-    evaluation: NetworkEvaluation, backend: str = "model"
+    evaluation: NetworkEvaluation, backend: str = "model",
+    clock_hz: float | None = None,
 ) -> EvalResult:
-    """Wrap a legacy :class:`NetworkEvaluation` in the canonical schema."""
+    """Wrap a legacy :class:`NetworkEvaluation` in the canonical schema.
+
+    The clock defaults to the evaluation's own (set from the
+    accelerator's arch), so clock-overridden evaluations round-trip
+    losslessly.
+    """
     return EvalResult(
         workload=evaluation.network,
         config_label=evaluation.accelerator,
         backend=backend,
+        clock_hz=clock_hz if clock_hz is not None else evaluation.clock_hz,
         layers=tuple(layer_from_evaluation(layer)
                      for layer in evaluation.layers),
     )
@@ -244,4 +260,5 @@ def to_network_evaluation(result: EvalResult) -> NetworkEvaluation:
         accelerator=result.config_label,
         network=result.workload,
         layers=layers,
+        clock_hz=result.clock_hz,
     )

@@ -18,12 +18,10 @@ BitWave's gains to its main design parameters:
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.accelerators.bitwave import BitWave
-from repro.eval.backends import model_network_evaluation
 from repro.accelerators.huaa import HUAA
-from repro.model.technology import TECH_16NM
+from repro.arch import DEFAULT_ARCH, parse_arch
+from repro.eval.backends import model_network_evaluation
 from repro.sparsity.profiles import network_weight_stats
 from repro.sparsity.stats import LayerWeightStats
 from repro.workloads.nets import bert_base_layers, network_layers
@@ -72,8 +70,8 @@ def dram_bandwidth_ablation(
     """Total cycles and the compute-bound layer fraction vs DRAM width."""
     results: dict[int, dict[str, float]] = {}
     for bits in widths:
-        tech = replace(TECH_16NM, dram_bits_per_cycle=bits)
-        evaluation = model_network_evaluation(BitWave(tech=tech), network)
+        arch = parse_arch(f"{DEFAULT_ARCH}@dram_bits={bits}")
+        evaluation = model_network_evaluation(BitWave(arch=arch), network)
         dram = sum(layer.latency.dram_cycles for layer in evaluation.layers)
         results[bits] = {
             "total_cycles": evaluation.total_cycles,

@@ -7,14 +7,16 @@ Bert-Base; Bit-Flip then unlocks a further ~2.7x on Bert-Base.
 
 from __future__ import annotations
 
+from repro.arch import DEFAULT_ARCH
 from repro.eval.grids import BREAKDOWN_VARIANTS, breakdown_grid
 from repro.utils.tables import format_table
 from repro.workloads.nets import NETWORKS
 
 
-def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
+def run(networks: tuple[str, ...] = NETWORKS,
+        arch: str = DEFAULT_ARCH) -> dict[str, dict[str, float]]:
     """``network -> {variant: speedup over Dense}``."""
-    grid = breakdown_grid(networks)
+    grid = breakdown_grid(networks, arch=arch)
     results: dict[str, dict[str, float]] = {}
     for net in networks:
         dense = grid[("Dense", net)].total_cycles

@@ -7,14 +7,16 @@ SCNN on CNN-LSTM / Bert-Base; >2x vs Bitlet.
 from __future__ import annotations
 
 from repro.accelerators import SOTA_ACCELERATORS
+from repro.arch import DEFAULT_ARCH
 from repro.eval.grids import sota_grid
 from repro.utils.tables import format_table
 from repro.workloads.nets import NETWORKS
 
 
-def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
+def run(networks: tuple[str, ...] = NETWORKS,
+        arch: str = DEFAULT_ARCH) -> dict[str, dict[str, float]]:
     """``network -> {accelerator: speedup vs SCNN}``."""
-    grid = sota_grid(networks)
+    grid = sota_grid(networks, arch=arch)
     results: dict[str, dict[str, float]] = {}
     for net in networks:
         scnn = grid[("SCNN", net)].total_cycles

@@ -8,14 +8,16 @@ dataflow designs pay 4-5x on MobileNetV2.
 from __future__ import annotations
 
 from repro.accelerators import SOTA_ACCELERATORS
+from repro.arch import DEFAULT_ARCH
 from repro.eval.grids import sota_grid
 from repro.utils.tables import format_table
 from repro.workloads.nets import NETWORKS
 
 
-def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
+def run(networks: tuple[str, ...] = NETWORKS,
+        arch: str = DEFAULT_ARCH) -> dict[str, dict[str, float]]:
     """``network -> {accelerator: energy normalized to BitWave}``."""
-    grid = sota_grid(networks)
+    grid = sota_grid(networks, arch=arch)
     results: dict[str, dict[str, float]] = {}
     for net in networks:
         bitwave = grid[("BitWave", net)].total_energy_pj

@@ -6,6 +6,7 @@ networks where all weights must be loaded on chip at least once.
 
 from __future__ import annotations
 
+from repro.arch import DEFAULT_ARCH
 from repro.eval.grids import sota_grid
 from repro.utils.tables import format_table
 from repro.workloads.nets import NETWORKS
@@ -13,9 +14,10 @@ from repro.workloads.nets import NETWORKS
 COMPONENTS = ("dram", "sram", "reg", "compute")
 
 
-def run(networks: tuple[str, ...] = NETWORKS) -> dict[str, dict[str, float]]:
+def run(networks: tuple[str, ...] = NETWORKS,
+        arch: str = DEFAULT_ARCH) -> dict[str, dict[str, float]]:
     """``network -> component energy shares`` for BitWave."""
-    grid = sota_grid(networks, accelerators=("BitWave",))
+    grid = sota_grid(networks, accelerators=("BitWave",), arch=arch)
     return {
         net: grid[("BitWave", net)].energy_shares()
         for net in networks

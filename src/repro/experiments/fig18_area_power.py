@@ -7,14 +7,16 @@ flexibility costs 10.8% area / 24.4% power.
 
 from __future__ import annotations
 
-from repro.model.area import bitwave_area_breakdown, bitwave_power_breakdown
+from repro.arch import ArchSpec, default_arch
 from repro.utils.tables import format_table
 
 
-def run() -> dict[str, dict[str, float]]:
+def run(arch: "ArchSpec | None" = None) -> dict[str, dict[str, float]]:
+    """Component area/power at ``arch``'s system scale (n_bce, sram_kb)."""
+    spec = arch if arch is not None else default_arch()
     return {
-        "area_mm2": bitwave_area_breakdown(),
-        "power_mw": bitwave_power_breakdown(),
+        "area_mm2": spec.area_breakdown(),
+        "power_mw": spec.power_breakdown(),
     }
 
 

@@ -7,12 +7,15 @@ costs 4.5x area and 2.7x power.
 
 from __future__ import annotations
 
-from repro.model.area import pe_type_comparison
+from repro.arch import ArchSpec, default_arch
 from repro.utils.tables import format_table
 
 
-def run() -> dict[str, dict[str, float]]:
-    table = pe_type_comparison()
+def run(arch: "ArchSpec | None" = None) -> dict[str, dict[str, float]]:
+    """Table IV at ``arch``'s technology point (Table IV energies x
+    clock reproduce the published per-PE powers exactly)."""
+    spec = arch if arch is not None else default_arch()
+    table = spec.pe_type_table()
     base = table["bit_parallel"]
     for values in table.values():
         values["area_ratio"] = values["area_um2"] / base["area_um2"]

@@ -104,7 +104,13 @@ def bitwave_power_breakdown(
 
 
 def pe_type_comparison() -> dict[str, dict[str, float]]:
-    """Table IV: the three PE types at one 8x8-MAC-equivalent each."""
+    """Table IV: the three PE types at one 8x8-MAC-equivalent each.
+
+    Legacy view of the published 250 MHz point; parametrized callers
+    should use :meth:`repro.arch.TechSpec.pe_type_table`, which derives
+    the same milliwatts from the unit energies x clock (bit-identical
+    at the default technology point, pinned by tests/arch).
+    """
     return {name: dict(values) for name, values in PE_TYPES.items()}
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.model.technology import Technology, TECH_16NM
+from repro.model.technology import Technology, default_technology
 from repro.model.zigzag import ActivityCounts
 
 
@@ -51,11 +51,13 @@ def total_energy(
     weight_cr: float = 1.0,
     act_cr: float = 1.0,
     sram_weight_overhead: float = 1.0,
-    tech: Technology = TECH_16NM,
+    tech: Technology | None = None,
 ) -> EnergyBreakdown:
     """Equation (4) with the compression scaling of equation (3)."""
     if weight_cr <= 0 or act_cr <= 0:
         raise ValueError("compression ratios must be positive")
+    if tech is None:
+        tech = default_technology()
     dram_elements = (
         counts.dram_read_weight / weight_cr
         + counts.dram_read_act / act_cr

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.model.technology import Technology, TECH_16NM
+from repro.model.technology import Technology, default_technology
 from repro.model.zigzag import ActivityCounts
 
 
@@ -55,7 +55,7 @@ def total_cycles(
     weight_cr: float = 1.0,
     act_cr: float = 1.0,
     sram_weight_overhead: float = 1.0,
-    tech: Technology = TECH_16NM,
+    tech: Technology | None = None,
     sram_w_bits_per_cycle: int | None = None,
     sram_a_bits_per_cycle: int | None = None,
 ) -> LatencyBreakdown:
@@ -77,6 +77,8 @@ def total_cycles(
     """
     if weight_cr <= 0 or act_cr <= 0:
         raise ValueError("compression ratios must be positive")
+    if tech is None:
+        tech = default_technology()
     dram_elements = (
         counts.dram_read_weight / weight_cr
         + counts.dram_read_act / act_cr

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.model.technology import Technology, TECH_16NM
+from repro.model.technology import Technology, default_technology
 from repro.workloads.spec import LayerSpec
 
 
@@ -35,7 +35,7 @@ def layer_roofline(
     spec: LayerSpec,
     peak_macs_per_cycle: float = 512.0,
     weight_cr: float = 1.0,
-    tech: Technology = TECH_16NM,
+    tech: Technology | None = None,
 ) -> RooflinePoint:
     """Place a layer on the roofline of the modelled platform.
 
@@ -45,6 +45,8 @@ def layer_roofline(
     """
     if weight_cr <= 0:
         raise ValueError("weight_cr must be positive")
+    if tech is None:
+        tech = default_technology()
     traffic_bytes = spec.weight_count / weight_cr + spec.input_count \
         + spec.output_count
     intensity = spec.macs / traffic_bytes
@@ -62,7 +64,7 @@ def network_roofline(
     specs: list[LayerSpec],
     peak_macs_per_cycle: float = 512.0,
     weight_cr: float = 1.0,
-    tech: Technology = TECH_16NM,
+    tech: Technology | None = None,
 ) -> list[RooflinePoint]:
     """Roofline placement of every layer of a workload."""
     return [

@@ -1,24 +1,22 @@
-"""16 nm technology constants (paper Section V-A/V-B STEP4).
+"""The numeric technology type consumed by the STEP4 pricing functions.
 
-Unit energies per access/operation.  On-chip values derive from the
-paper's own synthesis-based breakdowns (Table IV per-PE power at
-250 MHz, Fig. 18 component shares); DRAM energy uses the published
-DRAMPower DDR3 coefficient.  All values are in picojoules.
+The *description* of the 16 nm technology point -- unit energies, clock,
+PE areas -- lives in :class:`repro.arch.TechSpec` (the typed
+hardware-description API); this module keeps the flat numeric
+:class:`Technology` record that :mod:`repro.model.latency` /
+:mod:`repro.model.energy` / :mod:`repro.model.roofline` price with, plus
+deprecation shims for the old module-level constants.
 
-Per-PE energies from Table IV at 250 MHz (energy = power / frequency):
-
-- one 8x8 bit-parallel PE: 2.13e-2 mW -> 0.0852 pJ per MAC;
-- eight 1x8 bit-serial PEs (one MAC-equivalent per cycle): 5.71e-2 mW
-  -> 0.2284 pJ per MAC-equivalent cycle;
-- eight 1x8 bit-column-serial PEs (one BCE): 1.71e-2 mW -> 0.0684 pJ
-  per column cycle.
+.. deprecated::
+    ``TECH_16NM`` and ``CLOCK_FREQUENCY_HZ`` are compatibility aliases
+    of the default :class:`repro.arch.TechSpec`; new code should carry
+    an :class:`repro.arch.ArchSpec` (or call
+    :func:`default_technology`) instead of importing the constants.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-CLOCK_FREQUENCY_HZ = 250e6
 
 
 @dataclass(frozen=True)
@@ -45,19 +43,23 @@ class Technology:
         return bits / 8.0
 
 
-#: DDR3 streaming I/O energy ~7.5 pJ/bit (DRAMPower, activate+read
-#: amortized over bursts): 60 pJ per byte.
-#: 256 KB single-port SRAM in 16 nm: ~0.125 pJ/bit -> 1.0 pJ per byte.
-#: Pipeline/accumulator registers: ~0.03 pJ per byte.
-#: DDR3-1600 on a 64-bit channel delivers 12.8 GB/s; against the 250 MHz
-#: accelerator clock that is 51 bytes/cycle, modelled as 512 bits/cycle.
-TECH_16NM = Technology(
-    dram_pj_per_element=60.0,
-    sram_pj_per_element=1.00,
-    reg_pj_per_element=0.03,
-    mac_bit_parallel_pj=0.0852,
-    mac_bit_serial_cycle_pj=0.2284 / 8.0,   # per 1x8 lane-cycle
-    bce_column_cycle_pj=0.0684 / 8.0,       # per SMM lane-cycle
-    dram_bits_per_cycle=512,
-    sram_bits_per_cycle=1024,
-)
+def default_technology() -> Technology:
+    """The default 16 nm point (``repro.arch``'s default TechSpec)."""
+    return TECH_16NM
+
+
+# -- deprecated constants (values defined by repro.arch.TechSpec) -----
+# repro.arch.spec imports nothing from repro.model at module level, and
+# Technology is defined above before the import runs, so this derivation
+# is cycle-free however the two packages are first imported.
+from repro.arch.spec import TechSpec as _TechSpec  # noqa: E402
+
+_DEFAULT_TECH_SPEC = _TechSpec()
+
+#: Deprecated alias: the default :class:`repro.arch.TechSpec` clock.
+CLOCK_FREQUENCY_HZ = _DEFAULT_TECH_SPEC.clock_frequency_hz
+
+#: Deprecated alias: the default :class:`repro.arch.TechSpec`'s numeric
+#: view.  Kept so historical callers (and stored notebooks) keep
+#: working; the values are single-sourced from ``repro.arch``.
+TECH_16NM = _DEFAULT_TECH_SPEC.technology()

@@ -46,6 +46,39 @@ _OUTPUT_SPACE = frozenset({"B", "OX", "OY"})
 _KERNEL_SPACE = frozenset({"K"})
 
 
+def act_fusion_tile_bytes(act_sram_bytes: int) -> int:
+    """Activation fusion tile: half the activation SRAM (double-buffered
+    layer-to-layer forwarding)."""
+    return act_sram_bytes // 2
+
+
+def fused_dram_elems(elems: int, act_tile_bytes: int) -> float:
+    """Activation elements crossing DRAM under the fusion rule.
+
+    Intermediate tensors that fit the fusion tile are forwarded on chip
+    and never touch DRAM.  The one home of the rule: :func:`map_layer`
+    and the simulator's energy epilog (:mod:`repro.sim.energy`) both
+    call it, so the two backends cannot drift.
+    """
+    return float(elems) if elems > act_tile_bytes else 0.0
+
+
+def weight_stream_passes(weight_bytes_dense: int, input_elems: int,
+                         weight_sram_bytes: int,
+                         act_tile_bytes: int) -> int:
+    """DRAM re-stream count when neither tensor fits on chip.
+
+    Weights stream once per activation tile only when the *dense*
+    weight footprint exceeds the weight SRAM and the activations exceed
+    one fusion tile.  Shared with the simulator's energy epilog, like
+    :func:`fused_dram_elems`.
+    """
+    if weight_bytes_dense > weight_sram_bytes and \
+            input_elems > act_tile_bytes:
+        return math.ceil(input_elems / act_tile_bytes)
+    return 1
+
+
 @dataclass(frozen=True)
 class ActivityCounts:
     """Dense activity counts of one (layer, SU) pair -- Table II."""
@@ -81,18 +114,15 @@ def map_layer(
     padded_macs = n_mac / utilization
 
     # --- DRAM ----------------------------------------------------------
-    act_tile_capacity = act_sram_bytes // 2
-    weight_passes = 1
-    if spec.weight_count > weight_sram_bytes and \
-            spec.input_count > act_tile_capacity:
-        weight_passes = math.ceil(spec.input_count / act_tile_capacity)
+    act_tile_capacity = act_fusion_tile_bytes(act_sram_bytes)
+    weight_passes = weight_stream_passes(
+        spec.weight_count, spec.input_count,
+        weight_sram_bytes, act_tile_capacity)
     dram_read_weight = float(spec.weight_count * weight_passes)
     # Intermediate activations that fit on chip are fused (layer-to-layer
     # forwarding through the activation SRAM).
-    dram_read_act = float(spec.input_count) if \
-        spec.input_count > act_tile_capacity else 0.0
-    dram_write_act = float(spec.output_count) if \
-        spec.output_count > act_tile_capacity else 0.0
+    dram_read_act = fused_dram_elems(spec.input_count, act_tile_capacity)
+    dram_write_act = fused_dram_elems(spec.output_count, act_tile_capacity)
 
     # --- SRAM ----------------------------------------------------------
     # Temporal register reuse: a weight survives while its lane sweeps

@@ -1,0 +1,91 @@
+"""Energy epilog of the structural simulator (closing the sim-energy gap).
+
+The datapath produces exact structural counters -- ZCIP-parsed column
+payloads, BCE lane-cycles, fetcher traffic -- and this module prices
+them with a :class:`repro.arch.TechSpec`'s Table IV unit energies, the
+same eq. (4) structure the analytical model uses:
+
+- **compute**: every streamed bit column engages the group's ``G`` SMM
+  lanes for one cycle per output context; idle sync-stall cycles are
+  clock-gated (exactly the analytical model's assumption), so compute
+  energy is ``column lane-cycles x bce_column_cycle_pj``;
+- **DRAM**: the compressed weight stream (payload + index bytes)
+  crosses the off-chip interface once per activation tile pass;
+  activations cross only when they exceed the on-chip fusion capacity
+  (the mapper's layer-to-layer forwarding rule);
+- **SRAM**: the compressed weight stream plus the full activation and
+  output streams move through the on-chip ports once;
+- **register**: two operand reads and one accumulator write per MAC.
+
+The matched analytical half of each quantity (statistics-derived
+instead of counter-derived) lives in
+:func:`repro.eval.lowering.analytic_energy_pj`; the per-layer deviation
+between the two is reported next to the established compute-cycle
+deviation and stays within the same Section V-B bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.technology import Technology
+from repro.model.zigzag import (  # noqa: F401  (re-exported: one rule home)
+    fused_dram_elems,
+    weight_stream_passes,
+)
+
+#: Elements (8-bit words) per MAC touched in the register file: two
+#: operand reads plus one accumulator write (the mapper's rule).
+REG_ELEMS_PER_MAC = 3.0
+
+
+@dataclass(frozen=True)
+class SimEnergyBreakdown:
+    """Picojoules per component (the Fig. 16 categories)."""
+
+    dram_pj: float
+    sram_pj: float
+    reg_pj: float
+    compute_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.dram_pj + self.sram_pj + self.reg_pj + self.compute_pj
+
+    def components(self) -> dict[str, float]:
+        """Keyed like :data:`repro.eval.result.ENERGY_COMPONENTS`."""
+        return {
+            "dram": self.dram_pj,
+            "sram": self.sram_pj,
+            "reg": self.reg_pj,
+            "compute": self.compute_pj,
+        }
+
+
+def price_matmul(
+    tech: Technology,
+    *,
+    lane_cycles: float,
+    weight_stream_bytes: float,
+    dram_act_in_elems: float,
+    dram_act_out_elems: float,
+    act_elems: float,
+    out_elems: float,
+    n_mac: float,
+    weight_passes: int = 1,
+) -> SimEnergyBreakdown:
+    """Price one lowered matmul's structural counters (eq. (4)).
+
+    ``weight_stream_bytes`` is the *compressed* stream, index bytes
+    included -- BitWave's stored format is the wire format, so DRAM,
+    SRAM and the fetcher all move the same bytes.
+    """
+    dram_elems = (weight_stream_bytes * weight_passes
+                  + dram_act_in_elems + dram_act_out_elems)
+    sram_elems = weight_stream_bytes + act_elems + out_elems
+    return SimEnergyBreakdown(
+        dram_pj=dram_elems * tech.dram_pj_per_element,
+        sram_pj=sram_elems * tech.sram_pj_per_element,
+        reg_pj=REG_ELEMS_PER_MAC * n_mac * tech.reg_pj_per_element,
+        compute_pj=lane_cycles * tech.bce_column_cycle_pj,
+    )

@@ -36,15 +36,14 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.arch import ArchSpec, default_arch
+from repro.arch.spec import SEGMENT_KERNELS  # noqa: F401  (canonical home)
 from repro.core.signmag import sm_bitplanes
 from repro.sim.bce import BitColumnEngine, BitPlaneEngine
 from repro.sim.dispatcher import DataDispatcher
+from repro.sim.energy import SimEnergyBreakdown, price_matmul
 from repro.sim.fetcher import DataFetcher
 from repro.sim.zcip import ZeroColumnIndexParser
-
-#: Kernels sharing one 64-bit weight segment (Fig. 10: "64 same
-#: significance weight bits from 8 input channels across 8 kernels").
-SEGMENT_KERNELS = 8
 
 #: Datapath implementations selectable on :class:`BitWaveNPU`.
 BACKENDS = ("vectorized", "reference")
@@ -52,7 +51,13 @@ BACKENDS = ("vectorized", "reference")
 
 @dataclass
 class LayerRun:
-    """Result of simulating one layer."""
+    """Result of simulating one layer.
+
+    ``energy`` prices this run's structural counters with the NPU's
+    :class:`repro.arch.TechSpec` (every tensor moved on/off chip once);
+    whole-network evaluations re-price the rescaled full-layer counters
+    through :mod:`repro.eval.lowering` instead.
+    """
 
     outputs: np.ndarray
     compute_cycles: int
@@ -60,6 +65,7 @@ class LayerRun:
     column_ops: int
     weight_bits_fetched: int
     dense_weight_bits: int
+    energy: SimEnergyBreakdown
 
     @property
     def total_cycles(self) -> int:
@@ -71,31 +77,60 @@ class LayerRun:
         fetched = self.weight_bits_fetched
         return self.dense_weight_bits / fetched if fetched else float("inf")
 
+    @property
+    def energy_pj(self) -> float:
+        """Total priced energy of this run."""
+        return self.energy.total_pj
+
 
 class BitWaveNPU:
-    """Structural simulator of the 512-BCE array."""
+    """Structural simulator of the 512-BCE array.
+
+    The PE-array geometry -- BCS group size, kernel/spatial unrolls,
+    fetch bandwidths -- and the technology point pricing the energy
+    epilog come from one :class:`repro.arch.ArchSpec` (the same typed
+    hardware description the analytical model consumes).  The legacy
+    keyword spellings remain accepted and are folded into a spec, so
+    every construction path gets the spec's validation (e.g. ``ku``
+    must sit on the 8-kernel weight-segment grid).
+    """
 
     def __init__(
         self,
-        group_size: int = 8,
-        ku: int = 32,
-        oxu: int = 16,
-        weight_bw_bits: int = 256,
-        act_bw_bits: int = 1024,
+        group_size: int | None = None,
+        ku: int | None = None,
+        oxu: int | None = None,
+        weight_bw_bits: int | None = None,
+        act_bw_bits: int | None = None,
         dense_mode_precision: int | None = None,
         backend: str = "vectorized",
+        arch: ArchSpec | None = None,
     ) -> None:
-        if group_size < 1:
-            raise ValueError("group_size must be >= 1")
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; one of {BACKENDS}")
-        self.group_size = group_size
-        self.ku = ku
-        self.oxu = oxu
+        base = arch if arch is not None else default_arch()
+        overrides = {
+            name: value for name, value in (
+                ("group_size", group_size), ("ku", ku), ("oxu", oxu),
+                ("weight_bw_bits", weight_bw_bits),
+                ("act_bw_bits", act_bw_bits),
+            ) if value is not None
+        }
+        if overrides:
+            base = replace(base, **overrides)
+        self.arch = base
+        self.tech = base.technology()
+        self.group_size = base.group_size
+        self.ku = base.ku
+        self.oxu = base.oxu
         self.backend = backend
+        # The spec's precision/columns mode engages the ZCIP dense
+        # schedule; the legacy kwarg stays as an explicit override.
+        if dense_mode_precision is None and base.columns == "dense":
+            dense_mode_precision = base.dense_precision
         self.parser = ZeroColumnIndexParser(dense_mode_precision)
-        self.fetcher = DataFetcher(weight_bw_bits, act_bw_bits)
+        self.fetcher = DataFetcher(base.weight_bw_bits, base.act_bw_bits)
         self.dispatcher = DataDispatcher()
 
     # ------------------------------------------------------------------
@@ -232,6 +267,22 @@ class BitWaveNPU:
         self.dispatcher.dispatch_weights(payload_bits // 8)
         self.dispatcher.dispatch_activations(n * c)
 
+        # Energy epilog: price this run's counters with the spec's
+        # technology.  Each streamed column engages the group's G lanes
+        # once per output context (payload_bits == sync-counter total
+        # times G); every tensor crosses DRAM/SRAM once at this level
+        # (whole-network fusion rules live in repro.eval.lowering).
+        energy = price_matmul(
+            self.tech,
+            lane_cycles=float(payload_bits) * n,
+            weight_stream_bytes=(payload_bits + 8 * k * n_groups) / 8.0,
+            dram_act_in_elems=float(n * c),
+            dram_act_out_elems=float(n * k),
+            act_elems=float(n * c),
+            out_elems=float(n * k),
+            n_mac=float(n) * k * c,
+        )
+
         return LayerRun(
             outputs=outputs,
             compute_cycles=int(compute_cycles),
@@ -239,6 +290,7 @@ class BitWaveNPU:
             column_ops=column_ops,
             weight_bits_fetched=payload_bits + 8 * k * n_groups,
             dense_weight_bits=k * c * 8,
+            energy=energy,
         )
 
     def run_conv(

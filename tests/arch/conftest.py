@@ -1,0 +1,16 @@
+"""Shared fixtures for the ``repro.arch`` test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import api
+
+
+@pytest.fixture
+def isolated_store(tmp_path, monkeypatch):
+    """Route the default (env-derived) store into a tmp dir."""
+    monkeypatch.setenv("REPRO_DSE_STORE", str(tmp_path))
+    api.reset_cache()
+    yield tmp_path
+    api.reset_cache()

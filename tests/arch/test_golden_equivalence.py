@@ -1,0 +1,106 @@
+"""Golden-equivalence suite: the default preset IS the old hard-coded
+hardware description.
+
+``tests/arch/golden/harness_outputs.json`` captures the Fig. 13-18 and
+Table IV harness outputs from the commit *before* the ``repro.arch``
+refactor (module-level constants, class-attribute widths, loose NPU
+kwargs).  Every ``run()`` under the default ``bitwave-16nm`` preset
+must reproduce them bit-identically -- JSON round-trips floats by
+shortest-repr, so ``==`` over the decoded tree is an exact comparison.
+
+Regenerate deliberately (only when the *model* changes, never for a
+pure refactor) with::
+
+    PYTHONPATH=src python -c "
+    import json
+    from repro.experiments import (fig13_breakdown, fig14_speedup,
+        fig15_energy, fig16_energy_breakdown, fig17_efficiency,
+        fig18_area_power, tab4_pe_types)
+    json.dump({'fig13': fig13_breakdown.run(), 'fig14': fig14_speedup.run(),
+               'fig15': fig15_energy.run(), 'fig16': fig16_energy_breakdown.run(),
+               'fig17': fig17_efficiency.run(), 'fig18': fig18_area_power.run(),
+               'tab4': tab4_pe_types.run()},
+              open('tests/arch/golden/harness_outputs.json', 'w'),
+              indent=2, sort_keys=True)"
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "harness_outputs.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def isolated_store(tmp_path_factory):
+    """Module-scoped store isolation: the Fig. 13-17 harnesses share one
+    evaluation grid, so one warm store serves every golden test."""
+    import os
+
+    from repro.eval import api
+
+    old = os.environ.get("REPRO_DSE_STORE")
+    os.environ["REPRO_DSE_STORE"] = str(tmp_path_factory.mktemp("golden"))
+    api.reset_cache()
+    yield
+    if old is None:
+        os.environ.pop("REPRO_DSE_STORE", None)
+    else:
+        os.environ["REPRO_DSE_STORE"] = old
+    api.reset_cache()
+
+
+def _canonical(tree):
+    """Round-trip through JSON so both sides use identical encodings."""
+    return json.loads(json.dumps(tree, sort_keys=True))
+
+
+class TestGoldenEquivalence:
+    """Fig. 13-17 grids under the default preset, bit-identical."""
+
+    def test_fig13_breakdown(self, golden, isolated_store):
+        from repro.experiments import fig13_breakdown
+
+        assert _canonical(fig13_breakdown.run()) == golden["fig13"]
+
+    def test_fig14_speedup(self, golden, isolated_store):
+        from repro.experiments import fig14_speedup
+
+        assert _canonical(fig14_speedup.run()) == golden["fig14"]
+
+    def test_fig15_energy(self, golden, isolated_store):
+        from repro.experiments import fig15_energy
+
+        assert _canonical(fig15_energy.run()) == golden["fig15"]
+
+    def test_fig16_energy_breakdown(self, golden, isolated_store):
+        from repro.experiments import fig16_energy_breakdown
+
+        assert _canonical(fig16_energy_breakdown.run()) == golden["fig16"]
+
+    def test_fig17_efficiency(self, golden, isolated_store):
+        from repro.experiments import fig17_efficiency
+
+        assert _canonical(fig17_efficiency.run()) == golden["fig17"]
+
+
+class TestGoldenAreaPower:
+    """Fig. 18 / Table IV through the ArchSpec accessors, bit-identical."""
+
+    def test_fig18_area_power(self, golden):
+        from repro.experiments import fig18_area_power
+
+        assert _canonical(fig18_area_power.run()) == golden["fig18"]
+
+    def test_tab4_pe_types(self, golden):
+        from repro.experiments import tab4_pe_types
+
+        assert _canonical(tab4_pe_types.run()) == golden["tab4"]

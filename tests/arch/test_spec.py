@@ -1,0 +1,139 @@
+"""ArchSpec/TechSpec unit behavior: identity, round-trip, validation."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.arch import (
+    ARCH_PRESETS,
+    DEFAULT_ARCH,
+    PRESET_DESCRIPTIONS,
+    ArchSpec,
+    TechSpec,
+    default_arch,
+    register_arch,
+)
+
+
+class TestTechSpecIdentity:
+    """The spec's defaults ARE the legacy constants (single-sourced)."""
+
+    def test_matches_legacy_technology(self):
+        from repro.model.technology import CLOCK_FREQUENCY_HZ, TECH_16NM
+
+        assert TechSpec().technology() == TECH_16NM
+        assert TechSpec().clock_frequency_hz == CLOCK_FREQUENCY_HZ
+
+    def test_pe_type_table_reproduces_table_iv(self):
+        """Energies x clock reproduce the published per-PE milliwatts
+        and areas bit-identically."""
+        from repro.model.area import PE_TYPES
+
+        table = TechSpec().pe_type_table()
+        assert set(table) == set(PE_TYPES)
+        for name, published in PE_TYPES.items():
+            assert table[name]["area_um2"] == published["area_um2"]
+            assert table[name]["power_mw"] == published["power_mw"]
+
+    def test_clock_scales_pe_power(self):
+        doubled = replace(TechSpec(), clock_frequency_hz=500e6)
+        base = TechSpec().pe_type_table()
+        fast = doubled.pe_type_table()
+        for name in base:
+            assert fast[name]["power_mw"] == 2 * base[name]["power_mw"]
+            assert fast[name]["area_um2"] == base[name]["area_um2"]
+
+
+class TestJsonRoundTrip:
+    def test_techspec_exact(self):
+        tech = replace(TechSpec(), sram_pj_per_element=0.5,
+                       clock_frequency_hz=123.456e6)
+        wire = json.loads(json.dumps(tech.to_dict()))
+        assert TechSpec.from_dict(wire) == tech
+
+    def test_archspec_exact(self):
+        spec = ArchSpec(group_size=16, ku=64, oxu=8, sram_kb=256,
+                        tech=replace(TechSpec(), dram_pj_per_element=30.0))
+        wire = json.loads(json.dumps(spec.to_dict()))
+        assert ArchSpec.from_dict(wire) == spec
+
+    def test_partial_dict_fills_defaults(self):
+        spec = ArchSpec.from_dict({"group_size": 32})
+        assert spec.group_size == 32
+        assert spec.ku == ArchSpec().ku
+        assert spec.tech == TechSpec()
+
+
+class TestValidation:
+    def test_group_size(self):
+        with pytest.raises(ValueError, match="group_size must be >= 1"):
+            ArchSpec(group_size=0)
+
+    def test_ku_must_sit_on_segment_grid(self):
+        """The PR 3 silent-mis-accounting bugfix: Ku off the 8-kernel
+        weight-segment width now errors instead of mis-counting
+        parallel streams."""
+        with pytest.raises(ValueError, match="8-kernel weight-segment"):
+            ArchSpec(ku=12)
+        with pytest.raises(ValueError, match="8-kernel weight-segment"):
+            ArchSpec(ku=4)
+        ArchSpec(ku=8)
+        ArchSpec(ku=64)
+
+    def test_oxu(self):
+        with pytest.raises(ValueError, match="oxu"):
+            ArchSpec(oxu=0)
+
+    def test_weight_bw_segment_multiple(self):
+        with pytest.raises(ValueError, match="64-bit segment"):
+            ArchSpec(weight_bw_bits=100)
+
+    def test_dense_precision_bounds(self):
+        with pytest.raises(ValueError, match="dense_precision"):
+            ArchSpec(dense_precision=0)
+        with pytest.raises(ValueError, match="dense_precision"):
+            ArchSpec(dense_precision=9)
+
+    def test_tech_fields_positive(self):
+        with pytest.raises(ValueError, match="sram_pj_per_element"):
+            TechSpec(sram_pj_per_element=0.0)
+        with pytest.raises(ValueError, match="multiple of 8"):
+            TechSpec(dram_bits_per_cycle=100)
+
+    def test_tech_type(self):
+        with pytest.raises(TypeError, match="TechSpec"):
+            ArchSpec(tech={"sram_pj_per_element": 1.0})
+
+
+class TestSystemScale:
+    def test_area_breakdown_scales_with_spec(self):
+        full = default_arch().area_breakdown()
+        half = replace(default_arch(), n_bce=256).area_breakdown()
+        assert half["pe_array"] == full["pe_array"] / 2
+        assert half["sram"] == full["sram"]
+
+    def test_power_breakdown_scales_with_sram(self):
+        full = default_arch().power_breakdown()
+        quarter = replace(default_arch(), sram_kb=128).power_breakdown()
+        assert quarter["sram"] == full["sram"] / 4
+
+
+class TestPresetRegistry:
+    def test_default_registered(self):
+        assert DEFAULT_ARCH in ARCH_PRESETS
+        assert default_arch() == ARCH_PRESETS[DEFAULT_ARCH]
+        assert default_arch() == ArchSpec()
+
+    def test_every_preset_described_and_valid(self):
+        for name, spec in ARCH_PRESETS.items():
+            assert name in PRESET_DESCRIPTIONS
+            assert isinstance(spec, ArchSpec)
+            # Construction already validated; re-check round-trip.
+            assert ArchSpec.from_dict(spec.to_dict()) == spec
+
+    def test_register_arch_rejects_grammar_characters(self):
+        with pytest.raises(ValueError, match="grammar characters"):
+            register_arch("bad@name", ArchSpec())

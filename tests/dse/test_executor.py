@@ -193,7 +193,9 @@ class TestBackendAxis:
         assert rows[0]["stored"] is True
         assert rows[0]["backend"] == "sim-vectorized"
         assert rows[0]["cycles"] > 0
-        assert rows[0]["energy"] is None  # energy unmodeled in the sim
+        # The sim energy epilog prices the structural counters.
+        assert rows[0]["energy"] > 0
+        assert rows[0]["tops_per_w"] > 0
 
     def test_sim_only_campaign_without_bitwave_is_an_error(self):
         spec = CampaignSpec(
@@ -205,12 +207,18 @@ class TestBackendAxis:
         with pytest.raises(ValueError, match="zero points"):
             spec.points()
 
-    def test_unmodeled_energy_excluded_from_json_and_pareto(self, tmp_path):
-        """Sim-backed rows report energy metrics as missing, not as a
-        best-possible zero (and the JSON stays RFC-parseable)."""
+    def test_energy_priced_vs_legacy_unpriced_paths(self, tmp_path):
+        """Both energy paths pin down: current sim records carry priced
+        energy (ranked in summaries and Pareto fronts); genuinely
+        unpriced records -- stores written before the sim-energy epilog
+        -- read as missing, never as a best-possible zero (and the JSON
+        stays RFC-parseable)."""
         import json as json_mod
 
+        from repro.dse.records import make_record
+        from repro.dse.store import StoreRouter
         from repro.dse.summary import pareto_data, summary_data
+        from repro.eval.result import EvalResult, LayerResult
 
         spec = CampaignSpec(
             name="mixedsum",
@@ -223,9 +231,41 @@ class TestBackendAxis:
         rows = summary_data(spec, store)
         by_backend = {row["backend"]: row for row in rows}
         assert by_backend["model"]["energy"] > 0
-        assert by_backend["sim-vectorized"]["energy"] is None
-        assert by_backend["sim-vectorized"]["tops_per_w"] is None
+        # Priced path: the sim epilog fills real energy metrics.
+        assert by_backend["sim-vectorized"]["energy"] > 0
+        assert by_backend["sim-vectorized"]["tops_per_w"] > 0
         json_mod.loads(json_mod.dumps(rows))  # strictly serializable
 
+        front = pareto_data(spec, store, x="cycles", y="energy")
+        # Priced sim records rank in the front like any other point.
+        assert front
+        assert all(row["energy"] is not None for row in front)
+
+        # Legacy path: overwrite the sim record with an unpriced result
+        # (energy_pj=0, empty component dicts -- the pre-epilog layout).
+        sim_point = next(p for p in spec.points()
+                         if p.backend == "sim-vectorized")
+        router = StoreRouter(store)
+        sim_store = router.for_point(sim_point)
+        stored = sim_store.result(sim_point.key())
+        unpriced = EvalResult(
+            workload=stored.workload,
+            config_label=stored.config_label,
+            backend=stored.backend,
+            clock_hz=stored.clock_hz,
+            layers=tuple(
+                LayerResult(name=l.name, macs=l.macs, cycles=l.cycles,
+                            energy_pj=0.0, energy={}, traffic=l.traffic,
+                            detail=l.detail)
+                for l in stored.layers),
+        )
+        sim_store.put(sim_point.key(),
+                      make_record(sim_point, unpriced))
+        rows = summary_data(spec, store)
+        legacy = {row["backend"]: row for row in rows}["sim-vectorized"]
+        assert legacy["stored"] is True
+        assert legacy["energy"] is None
+        assert legacy["tops_per_w"] is None
+        json_mod.loads(json_mod.dumps(rows))
         front = pareto_data(spec, store, x="cycles", y="energy")
         assert all(row["backend"] == "model" for row in front)

@@ -50,9 +50,9 @@ class TestConfigHash:
     def test_pinned_value(self):
         # Catches accidental canonical-format drift; update deliberately
         # (and bump SPEC_VERSION) if the point schema changes.
-        # SPEC_VERSION 2: keys come from the repro.eval request schema
-        # (backend + options joined the key).
-        assert EvalPoint("SCNN", "cnn_lstm").key() == "d7d33ec2efdb557b"
+        # SPEC_VERSION 3: the arch axis joined the key (and the sim
+        # geometry options left EvalOptions for the arch spec).
+        assert EvalPoint("SCNN", "cnn_lstm").key() == "cccbbe9f2329d1f4"
 
     def test_key_order_independent(self):
         a = config_hash({"x": 1, "y": [1, 2], "z": None})

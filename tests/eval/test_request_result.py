@@ -84,7 +84,8 @@ class TestEvalRequest:
     def test_round_trip(self):
         request = EvalRequest(
             workload="bert_base@tokens=64", variant="+DF",
-            options=EvalOptions(batch=2, sim_group_size=16))
+            arch="bitwave-16nm@group=16+sram_pj=0.5",
+            options=EvalOptions(batch=2, sim_max_contexts=8))
         assert EvalRequest.from_dict(request.to_dict()) == request
 
     def test_validation_errors(self):
@@ -110,9 +111,30 @@ class TestEvalRequest:
         with pytest.raises(ValueError, match="batch"):
             EvalRequest(workload="cnn_lstm",
                         options=EvalOptions(batch=0)).validate()
-        with pytest.raises(ValueError, match="sim_group_size"):
+        with pytest.raises(ValueError, match="sim_max_contexts"):
             EvalRequest(workload="cnn_lstm",
-                        options=EvalOptions(sim_group_size=0)).validate()
+                        options=EvalOptions(sim_max_contexts=-1)).validate()
+
+    def test_legacy_sim_option_keys_fail_loudly(self):
+        """Pre-arch request dicts carrying sim geometry must not
+        silently deserialize onto default hardware."""
+        with pytest.raises(ValueError, match="arch axis"):
+            EvalOptions.from_dict({"batch": 1, "sim_group_size": 16})
+
+    def test_arch_axis(self):
+        base = EvalRequest(workload="cnn_lstm")
+        swept = EvalRequest(workload="cnn_lstm",
+                            arch="bitwave-16nm@sram_pj=0.5")
+        assert swept.key() != base.key()
+        # The preset's own values canonicalize away.
+        assert EvalRequest(workload="cnn_lstm",
+                           arch="bitwave-16nm@group=8") == base
+        assert "bitwave-16nm@sram_pj=0.5" in swept.config_label
+        with pytest.raises(ValueError, match="unknown arch preset"):
+            EvalRequest(workload="cnn_lstm", arch="tpu-v4").validate()
+        with pytest.raises(ValueError, match="unknown arch field"):
+            EvalRequest(workload="cnn_lstm",
+                        arch="bitwave-16nm@foo=1").validate()
 
     def test_labels(self):
         assert EvalRequest(workload="cnn_lstm").label == "BitWave/cnn_lstm"
