@@ -12,10 +12,18 @@ A second campaign axis sweeps the *structural simulator* configuration
 through the Section V-B validation suite (:mod:`repro.dse.simcampaign`),
 made practical by the vectorized datapath backend.
 
-CLI: ``python -m repro.dse {init,points,run,summary,pareto,sim}``.
+Campaigns shard across processes/hosts deterministically
+(:class:`Shard`, ``run --shard i/N``), shard stores fold back together
+with :meth:`ResultStore.merge`, worker exceptions become per-point
+failure records (``CampaignRun.failed``) instead of aborting the pool,
+and :func:`repro.dse.gc.collect_garbage` compacts live store
+namespaces and evicts stale ones.
+
+CLI: ``python -m repro.dse {init,points,run,summary,pareto,merge,gc,sim}``.
 """
 
 from repro.dse.executor import CampaignRun, evaluate_point, run_campaign
+from repro.dse.gc import collect_garbage, live_namespaces
 from repro.dse.simcampaign import (
     SimCampaignRun,
     SimCampaignSpec,
@@ -34,11 +42,12 @@ from repro.dse.records import (
 from repro.dse.spec import (
     CampaignSpec,
     EvalPoint,
+    Shard,
     code_fingerprint,
     config_hash,
     paper_grid,
 )
-from repro.dse.store import ResultStore, default_store_root
+from repro.dse.store import CompactStats, ResultStore, default_store_root
 from repro.dse.summary import (
     METRICS,
     campaign_pareto,
@@ -50,16 +59,20 @@ __all__ = [
     "METRICS",
     "CampaignRun",
     "CampaignSpec",
+    "CompactStats",
     "EvalPoint",
     "ResultStore",
+    "Shard",
     "SimCampaignRun",
     "SimCampaignSpec",
     "SimPoint",
     "campaign_pareto",
     "code_fingerprint",
+    "collect_garbage",
     "config_hash",
     "default_store_root",
     "evaluate_point",
+    "live_namespaces",
     "evaluation_from_dict",
     "evaluation_to_dict",
     "make_record",

@@ -34,6 +34,21 @@ Examples::
     python -m repro.dse summary --spec campaign.json --format json
     python -m repro.dse pareto --spec campaign.json --x cycles --y energy
 
+    # Shard a campaign across hosts/processes: each shard evaluates a
+    # disjoint, deterministic slice of the grid (split by config hash)
+    # against the same fingerprint namespace.  Merge folds shard
+    # stores (or a results.jsonl copied from another host) into one,
+    # last-wins by key and idempotent under re-merge.
+    python -m repro.dse run --spec campaign.json --shard 0/2 --store a
+    python -m repro.dse run --spec campaign.json --shard 1/2 --store b
+    python -m repro.dse merge --store a b
+    python -m repro.dse summary --spec campaign.json --store a
+
+    # Store lifecycle: compact live namespaces, evict stale ones
+    # (fingerprints superseded by code edits) by age/size budget.
+    python -m repro.dse gc --dry-run
+    python -m repro.dse gc --max-age-days 7 --max-bytes 100000000
+
     # Sim-backed validation campaigns sweep the structural simulator's
     # configuration (group size, unrolls, datapath backend) and run the
     # Section V-B validation suite at every point.
@@ -47,8 +62,11 @@ import json
 import sys
 from typing import Sequence
 
+from pathlib import Path
+
 from repro.arch import arch_names
 from repro.dse.executor import run_campaign
+from repro.dse.gc import DEFAULT_MAX_AGE_DAYS, collect_garbage, gc_table
 from repro.dse.simcampaign import (
     SimCampaignSpec,
     run_sim_campaign,
@@ -56,8 +74,9 @@ from repro.dse.simcampaign import (
     sim_summary_data,
     sim_summary_rows,
 )
-from repro.dse.spec import CampaignSpec, paper_grid
-from repro.dse.store import ResultStore
+from repro.dse.spec import CampaignSpec, Shard, paper_grid
+from repro.dse.store import ResultStore, default_store_root
+from repro.eval.fingerprints import code_fingerprint
 from repro.dse.summary import (
     METRICS,
     pareto_data,
@@ -119,6 +138,16 @@ def _add_format_argument(parser: argparse.ArgumentParser) -> None:
                         help="output format (default: table)")
 
 
+def _add_shard_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shard", type=Shard.parse, default=None,
+                        metavar="I/N",
+                        help="restrict to deterministic shard I of N "
+                             "(0-based, split by config hash); N "
+                             "processes/hosts given the same spec cover "
+                             "the grid disjointly and `merge` folds "
+                             "their stores back together")
+
+
 def _inline_spec(args: argparse.Namespace) -> CampaignSpec:
     spec = CampaignSpec(
         name=args.name,
@@ -167,6 +196,8 @@ def _cmd_points(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
     router = StoreRouter(_store(args))
     points = spec.points()
+    if args.shard is not None:
+        points = args.shard.select(points)
     if args.format == "json":
         _emit_json([
             {**point.to_dict(), "key": point.key(), "label": point.label,
@@ -186,11 +217,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     store = _store(args)
     progress = None if args.quiet else ProgressPrinter()
     run = run_campaign(
-        spec, store, jobs=args.jobs, force=args.force, progress=progress)
+        spec, store, jobs=args.jobs, force=args.force, progress=progress,
+        shard=args.shard)
     print(run.summary_line)
+    for point in run.points:
+        error = run.failure_for(point)
+        if error is not None:
+            print(f"FAILED {point.label}: {error}", file=sys.stderr)
     print()
-    print(summary_table(spec, store))
-    return 0
+    print(summary_table(spec, store, failures=run.failed))
+    return 1 if run.failed else 0
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
@@ -226,7 +262,7 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         spec, store, jobs=args.jobs, force=args.force, progress=progress)
     if args.format == "json":
         _emit_json(sim_summary_data(run))
-        return 0
+        return 1 if run.failed else 0
     print(run.summary_line)
     print()
     print(format_table(
@@ -234,6 +270,74 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         sim_summary_rows(run),
         title="Sim-backed validation campaign (paper bound: <6%)",
     ))
+    return 1 if run.failed else 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    dest_root = (Path(args.store).expanduser() if args.store
+                 else default_store_root())
+    total = 0
+    for src in args.sources:
+        path = Path(src).expanduser()
+        if path.is_file():
+            # A bare results.jsonl copied from another host: the
+            # namespace is not recoverable from the file, and guessing
+            # one would strand the records somewhere no reader looks
+            # (e.g. sim records under the model fingerprint).
+            if not args.namespace:
+                raise ValueError(
+                    f"merge source {src!r} is a bare results.jsonl; "
+                    f"pass --namespace (its original parent-directory "
+                    f"name, e.g. {code_fingerprint()!r} for "
+                    f"model-backed records)")
+            namespace = args.namespace
+            merged = ResultStore(dest_root, namespace=namespace).merge(path)
+            print(f"merged {merged} records from {path} "
+                  f"into {namespace}")
+            total += merged
+        elif (path / "results.jsonl").is_file():
+            # A single namespace directory.
+            namespace = args.namespace or path.name
+            merged = ResultStore(dest_root, namespace=namespace).merge(
+                path / "results.jsonl")
+            print(f"merged {merged} records from {path} "
+                  f"into {namespace}")
+            total += merged
+        elif path.is_dir():
+            # A whole store root: fold every namespace it holds.
+            if args.namespace:
+                raise ValueError(
+                    f"--namespace applies to bare results.jsonl or "
+                    f"single-namespace sources; {src!r} is a whole "
+                    f"store root whose namespaces merge under their "
+                    f"own names")
+            for ns_dir in sorted(path.iterdir()):
+                if not (ns_dir / "results.jsonl").is_file():
+                    continue
+                merged = ResultStore(dest_root, namespace=ns_dir.name).merge(
+                    ns_dir / "results.jsonl")
+                print(f"merged {merged} records from {ns_dir} "
+                      f"into {ns_dir.name}")
+                total += merged
+        else:
+            raise ValueError(
+                f"merge source {src!r} is neither a store root, a "
+                f"namespace directory, nor a results.jsonl file")
+    print(f"merge complete: {total} records into {dest_root}")
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    report = collect_garbage(
+        args.store,
+        max_age_days=args.max_age_days,
+        max_bytes=args.max_bytes,
+        dry_run=args.dry_run,
+    )
+    if args.format == "json":
+        _emit_json(report.to_dict())
+        return 0
+    print(gc_table(report))
     return 0
 
 
@@ -255,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
         "points", help="list the grid points, keys and cache status")
     _add_spec_arguments(p_points)
     _add_format_argument(p_points)
+    _add_shard_argument(p_points)
     p_points.set_defaults(func=_cmd_points)
 
     p_run = sub.add_parser("run", help="run or resume a campaign")
@@ -265,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-evaluate points already in the store")
     p_run.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress lines")
+    _add_shard_argument(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_summary = sub.add_parser(
@@ -282,6 +388,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_pareto.add_argument("--y", default="energy", choices=sorted(METRICS),
                           help="second objective (default: energy)")
     p_pareto.set_defaults(func=_cmd_pareto)
+
+    p_merge = sub.add_parser(
+        "merge", help="fold shard stores (or copied results.jsonl "
+                      "files) into a store, last-wins by key")
+    p_merge.add_argument("sources", nargs="+", metavar="SRC",
+                         help="store roots, namespace directories, or "
+                              "bare results.jsonl files")
+    p_merge.add_argument("--store", metavar="DIR", default=None,
+                         help="destination store root (default: "
+                              "$REPRO_DSE_STORE or ~/.cache/repro-dse)")
+    p_merge.add_argument("--namespace", metavar="NS", default=None,
+                         help="destination namespace; required for bare "
+                              "results.jsonl sources (not recoverable "
+                              "from the file), defaults to the source "
+                              "directory name for namespace dirs")
+    p_merge.set_defaults(func=_cmd_merge)
+
+    p_gc = sub.add_parser(
+        "gc", help="compact live store namespaces and evict stale "
+                   "ones (superseded by code edits) by age/size budget")
+    p_gc.add_argument("--store", metavar="DIR", default=None,
+                      help="store root (default: $REPRO_DSE_STORE or "
+                           "~/.cache/repro-dse)")
+    p_gc.add_argument("--max-age-days", type=float,
+                      default=DEFAULT_MAX_AGE_DAYS, metavar="D",
+                      help="evict stale namespaces whose last append is "
+                           f"older than D days (default: "
+                           f"{DEFAULT_MAX_AGE_DAYS:g}; live namespaces "
+                           "are never evicted)")
+    p_gc.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                      help="after the age pass, evict the oldest stale "
+                           "namespaces until the root fits N bytes")
+    p_gc.add_argument("--dry-run", action="store_true",
+                      help="report what would be reclaimed, touch "
+                           "nothing")
+    _add_format_argument(p_gc)
+    p_gc.set_defaults(func=_cmd_gc)
 
     p_sim = sub.add_parser(
         "sim", help="run a sim-backed validation campaign over "

@@ -18,12 +18,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Generic, Protocol, TypeVar, cast
 
 from repro.dse.records import make_record, result_from_dict, result_to_dict
-from repro.dse.spec import CampaignSpec, EvalPoint
+from repro.dse.spec import CampaignSpec, EvalPoint, Shard
 from repro.dse.store import ResultStore, StoreRouter
 from repro.eval.registry import get_backend
 from repro.eval.result import EvalResult
@@ -65,6 +66,34 @@ def _worker(point: EvalPoint) -> tuple[str, dict[str, Any], float]:
     return point.key(), result_to_dict(result), time.perf_counter() - start
 
 
+@dataclass(frozen=True)
+class PointFailure:
+    """A worker exception, streamed back in place of a result payload."""
+
+    error: str
+
+
+class _FailureTolerant:
+    """Picklable worker wrapper turning exceptions into failure payloads.
+
+    One poisoned point must cost exactly that point, not the pool: an
+    exception escaping a pool worker would abort ``imap_unordered`` in
+    the parent and discard every not-yet-committed result of the
+    campaign.
+    """
+
+    def __init__(self, worker: Callable[[Any], tuple[str, Any, float]]):
+        self.worker = worker
+
+    def __call__(self, point: CampaignPoint) -> tuple[str, Any, float]:
+        start = time.perf_counter()
+        try:
+            return self.worker(point)
+        except Exception as exc:  # noqa: BLE001 -- any worker fault
+            failure = PointFailure(f"{type(exc).__name__}: {exc}")
+            return point.key(), failure, time.perf_counter() - start
+
+
 @dataclass
 class CampaignRun(Generic[PointT, ResultT]):
     """Outcome of one campaign-driver invocation.
@@ -83,11 +112,25 @@ class CampaignRun(Generic[PointT, ResultT]):
     evaluated: int = 0
     #: Evaluations whose records could not be written (store down).
     persist_failures: int = 0
+    #: Results for an already-committed key streaming back again
+    #: (defensive: a driver bug, or a caller bypassing point dedupe).
+    recommits: int = 0
+    #: config-hash key -> worker error, points whose evaluation raised.
+    failed: dict[str, str] = field(default_factory=dict)
     #: config-hash key -> deserialized/computed result, all points.
     results: dict[str, ResultT] = field(default_factory=dict)
 
     def result_for(self, point: PointT) -> ResultT:
         return self.results[point.key()]
+
+    def failure_for(self, point: PointT) -> str | None:
+        """The worker error for ``point``, or ``None`` if it succeeded."""
+        return self.failed.get(point.key())
+
+    def failed_labels(self) -> list[str]:
+        """Display labels of the points whose evaluation raised."""
+        return [point.label for point in self.points
+                if point.key() in self.failed]
 
     def grid(self) -> dict[tuple[str, str], ResultT]:
         """``(config label, network) -> result`` (evaluation grids)."""
@@ -95,6 +138,12 @@ class CampaignRun(Generic[PointT, ResultT]):
             raise TypeError(
                 f"grid() is defined for evaluation-grid runs; this run's "
                 f"points are {type(self.points[0]).__name__}")
+        if self.failed:
+            # Harness grids (Fig. 13-17) need every cell; a partial
+            # grid would KeyError later with no hint of the cause.
+            raise RuntimeError(
+                f"{len(self.failed)} campaign points failed: "
+                + ", ".join(sorted(self.failed_labels())))
         return {
             (cast(EvalPoint, point).config_label,
              cast(EvalPoint, point).network): self.result_for(point)
@@ -106,10 +155,15 @@ class CampaignRun(Generic[PointT, ResultT]):
         line = (
             f"campaign {self.spec.name}: total={self.total} "
             f"cached={self.cached} evaluated={self.evaluated} "
-            f"store={self.store_path}"
+            f"failed={len(self.failed)} store={self.store_path}"
         )
+        if self.recommits:
+            line += f" (note: {self.recommits} re-committed results)"
         if self.persist_failures:
             line += f" (WARNING: {self.persist_failures} results not persisted)"
+        if self.failed:
+            line += (f" (ERROR: {len(self.failed)} points failed: "
+                     + ", ".join(sorted(self.failed_labels())) + ")")
         return line
 
 
@@ -146,12 +200,34 @@ def drive_points(
     - ``decode_result(payload)`` -- worker payload to stored value;
     - ``store_for(point)`` -- the store a point's record lands in.
 
-    ``run`` accumulates ``results``/``cached``/``evaluated``/
+    ``run`` accumulates ``results``/``cached``/``evaluated``/``failed``/
     ``persist_failures`` in place.  The parent process owns all store
-    writes; workers only compute.
+    writes; workers only compute.  A worker exception becomes a
+    per-point entry in ``run.failed`` (the pool keeps draining and
+    every completed result still persists); duplicate-key points are
+    dropped up front with a warning so one result can never double-
+    commit or overrun the progress accounting.
     """
     jobs = resolve_jobs(jobs)
-    by_key = {point.key(): point for point in points}
+    by_key: dict[str, PointT] = {}
+    unique: list[PointT] = []
+    for point in points:
+        key = point.key()
+        if key in by_key:
+            warnings.warn(
+                f"campaign point {point.label!r} duplicates the key of "
+                f"{by_key[key].label!r} ({key}); dropping the duplicate",
+                RuntimeWarning, stacklevel=2)
+            continue
+        by_key[key] = point
+        unique.append(point)
+    if len(unique) != len(points):
+        # Keep the run's own view consistent too: reporting paths
+        # (failed_labels, grid, per-point CLI lines) iterate run.points
+        # and must not see one point twice.
+        run.total = len(unique)
+        run.points = list(unique)
+    points = unique
 
     pending = []
     done = 0
@@ -172,6 +248,18 @@ def drive_points(
     def commit(key: str, payload: Any, elapsed: float) -> None:
         nonlocal done, store_down
         point = by_key[key]
+        if isinstance(payload, PointFailure):
+            run.failed[key] = payload.error
+            done = min(done + 1, run.total)
+            if progress is not None:
+                # Mark the live line: an operator watching a long run
+                # should see the fault when it happens, not only in the
+                # final summary.
+                progress(done, run.total,
+                         f"FAILED {point.label}: {payload.error}",
+                         cached=False, elapsed_s=elapsed)
+            return
+        recommit = key in run.results
         if store_down:
             run.persist_failures += 1
         else:
@@ -183,22 +271,28 @@ def drive_points(
                 store_down = True
                 run.persist_failures += 1
         run.results[key] = decode_result(payload)
-        run.evaluated += 1
-        done += 1
+        if recommit:
+            # The same key streaming back twice must not inflate the
+            # progress counters past run.total (101/100-style lines).
+            run.recommits += 1
+        else:
+            run.evaluated += 1
+            done = min(done + 1, run.total)
         if progress is not None:
             progress(done, run.total, point.label,
                      cached=False, elapsed_s=elapsed)
 
+    safe_worker = _FailureTolerant(worker)
     if jobs <= 1 or len(pending) <= 1:
         for point in pending:
-            commit(*worker(point))
+            commit(*safe_worker(point))
     elif pending:
         if chunksize is None:
             chunksize = max(1, len(pending) // (jobs * 4))
         workers = min(jobs, len(pending))
         with multiprocessing.Pool(processes=workers) as pool:
             for key, payload, elapsed in pool.imap_unordered(
-                    worker, pending, chunksize=chunksize):
+                    safe_worker, pending, chunksize=chunksize):
                 commit(key, payload, elapsed)
 
 
@@ -210,20 +304,26 @@ def run_campaign(
     chunksize: int | None = None,
     force: bool = False,
     progress: ProgressFn | None = None,
+    shard: Shard | None = None,
 ) -> CampaignRun[EvalPoint, EvalResult]:
-    """Run (or resume) a campaign; returns the full result grid.
+    """Run (or resume) a campaign; returns the result grid.
 
     Points whose key already exists in their backend's store are served
     from disk unless ``force`` re-evaluates them.  ``jobs > 1``
     evaluates the pending points on a process pool; ``jobs=0`` uses
     every CPU.  ``store`` holds the model-backed records; points on
     other backends persist next to it under the backend's own
-    fingerprint namespace.
+    fingerprint namespace.  ``shard`` restricts the run to one
+    deterministic slice of the grid (see :class:`repro.dse.spec.Shard`)
+    so N processes/hosts can split a campaign and later ``merge`` their
+    stores.
     """
     spec.validate()
     if store is None:
         store = ResultStore()
     points = spec.points()
+    if shard is not None:
+        points = shard.select(points)
     run: CampaignRun[EvalPoint, EvalResult] = CampaignRun(
         spec=spec, store_path=store.path, points=points, total=len(points))
     router = StoreRouter(store)

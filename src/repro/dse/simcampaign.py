@@ -226,9 +226,18 @@ def run_sim_campaign(
 
 def sim_summary_rows(
         run: "CampaignRun[SimPoint, dict[str, Any]]") -> list[Sequence[Any]]:
-    """Table rows summarizing a sim campaign (one row per point)."""
-    rows = []
+    """Table rows summarizing a sim campaign (one row per point).
+
+    Points whose suite run raised (``run.failed``) report ``FAILED``
+    instead of metrics, so a poisoned configuration cannot hide the
+    rest of the campaign's results.
+    """
+    rows: list[Sequence[Any]] = []
     for point in run.points:
+        error = run.failure_for(point)
+        if error is not None:
+            rows.append([point.label, "-", "-", f"FAILED: {error}"])
+            continue
         result = run.result_for(point)
         rows.append([
             point.label,
@@ -244,10 +253,22 @@ def sim_summary_data(
     """JSON-able summary (one entry per point), for ``--format json``."""
     entries = []
     for point in run.points:
+        error = run.failure_for(point)
+        if error is not None:
+            entries.append({
+                "point": point.to_dict(),
+                "label": point.label,
+                "error": error,
+                "layers": None,
+                "total_simulated_cycles": None,
+                "max_deviation": None,
+            })
+            continue
         result = run.result_for(point)
         entries.append({
             "point": point.to_dict(),
             "label": point.label,
+            "error": None,
             "layers": result["layers"],
             "total_simulated_cycles": result["total_simulated_cycles"],
             "max_deviation": result["max_deviation"],

@@ -15,11 +15,12 @@ sweeps are ordinary campaign points.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, Protocol, Sequence, TypeVar
 
 from repro.accelerators import (
     BITWAVE_VARIANTS,
@@ -40,6 +41,62 @@ from repro.workloads.nets import parse_network
 SPEC_VERSION = 3
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class _HasKey(Protocol):
+    def key(self) -> str: ...
+
+
+_KeyedT = TypeVar("_KeyedT", bound=_HasKey)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One deterministic slice ``index/count`` of a campaign's points.
+
+    Points are assigned to shards by their stable config-hash key, so N
+    hosts (or processes) given the same spec and ``count`` evaluate
+    disjoint, collectively-exhaustive slices against the same
+    fingerprint namespace -- no coordination needed beyond agreeing on
+    ``count``.  Adding grid axes moves no existing point between
+    shards: assignment depends only on each point's own key.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                f"shard index must be in [0, {self.count}), got {self.index}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Shard":
+        """Parse the CLI spelling ``"i/N"`` (0-based index)."""
+        match = re.fullmatch(r"(\d+)/(\d+)", text.strip())
+        if not match:
+            raise ValueError(
+                f"shard must be spelled 'i/N' (e.g. '0/2'), got {text!r}")
+        return cls(index=int(match.group(1)), count=int(match.group(2)))
+
+    def owns(self, key: str) -> bool:
+        """Whether a config-hash key lands in this shard.
+
+        Re-hashing the key keeps the split uniform and stable for any
+        key format (evaluation grids and sim campaigns alike),
+        independent of process and ``PYTHONHASHSEED``.
+        """
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.count == self.index
+
+    def select(self, points: Sequence[_KeyedT]) -> list[_KeyedT]:
+        """The sub-list of ``points`` this shard owns (order preserved)."""
+        return [point for point in points if self.owns(point.key())]
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
 
 
 @dataclass(frozen=True)

@@ -8,17 +8,30 @@ results, while re-runs under unchanged code are fully incremental.
 
 Duplicate keys are legal (``--force`` re-evaluations append); the last
 record wins on load.  A torn trailing line from an interrupted write is
-skipped, so a crashed campaign resumes cleanly.  The intended write
-discipline is single-writer: the campaign parent process appends while
-pool workers only compute.
+skipped, so a crashed campaign resumes cleanly.  Writes are
+multi-writer safe: every mutation (:meth:`ResultStore.put`,
+:meth:`~ResultStore.compact`, :meth:`~ResultStore.merge`) takes an
+advisory ``fcntl`` lock on a per-namespace lockfile, so N sharded
+campaign processes may append to one namespace concurrently; readers
+never lock (appends are atomic single writes and a torn trailing line
+is tolerated).  :meth:`ResultStore.merge` folds another shard's store
+-- or a ``results.jsonl`` copied from another host -- into this one,
+last-wins by key and idempotent under re-merge.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterator, Mapping, NamedTuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback: no locking
+    fcntl = None  # type: ignore[assignment]
 
 from repro.accelerators.base import NetworkEvaluation
 from repro.dse.records import (
@@ -32,6 +45,9 @@ from repro.eval.result import EvalResult
 #: Environment variable overriding the default store root.
 DEFAULT_ROOT_ENV = "REPRO_DSE_STORE"
 
+#: Per-namespace lockfile serializing cross-process mutations.
+LOCK_FILENAME = ".lock"
+
 
 def default_store_root() -> Path:
     """``$REPRO_DSE_STORE`` or ``~/.cache/repro-dse``."""
@@ -39,6 +55,55 @@ def default_store_root() -> Path:
     if override:
         return Path(override).expanduser()
     return Path.home() / ".cache" / "repro-dse"
+
+
+def scan_jsonl(path: Path) -> tuple[dict[str, dict[str, Any]], int]:
+    """One-pass parse of a ``results.jsonl``.
+
+    Returns the last-wins ``key -> record`` map plus the raw non-blank
+    line count (superseded duplicates and torn fragments included), so
+    callers like the GC need not re-read the file to measure bloat.
+    A torn trailing line (interrupted write) is skipped; a missing file
+    reads as empty.
+    """
+    records: dict[str, dict[str, Any]] = {}
+    raw_lines = 0
+    if not path.exists():
+        return records, raw_lines
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            raw_lines += 1
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from an interrupted campaign
+            if not isinstance(record, dict):
+                continue  # valid JSON but not a record (foreign file)
+            key = record.get("key")
+            if key:
+                records[key] = record
+    return records, raw_lines
+
+
+def load_jsonl_records(path: Path) -> dict[str, dict[str, Any]]:
+    """The last-wins ``key -> record`` map of a ``results.jsonl``."""
+    return scan_jsonl(path)[0]
+
+
+def encode_record(record: Mapping[str, Any]) -> bytes:
+    """The canonical on-disk line for one record (shared by ``put``,
+    ``compact``, ``merge``, and the GC's dry-run size estimate)."""
+    return (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+
+
+class CompactStats(NamedTuple):
+    """What a :meth:`ResultStore.compact` pass kept and reclaimed."""
+
+    live_records: int
+    reclaimed_bytes: int
 
 
 class ResultStore:
@@ -52,25 +117,35 @@ class ResultStore:
         self._records: dict[str, dict[str, Any]] = {}
         self._loaded = False
 
+    # -- locking ---------------------------------------------------------
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Advisory cross-process lock over this namespace's mutations.
+
+        Readers never take it: appends land as atomic single writes and
+        the loader tolerates a torn trailing line, so the lock only has
+        to serialize writers (concurrent shard appends, ``compact``
+        rewrites, ``merge`` folds).  On platforms without ``fcntl`` the
+        store degrades to the old single-writer discipline.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        fd = os.open(self.path.parent / LOCK_FILENAME,
+                     os.O_WRONLY | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing the descriptor releases the lock
+
     # -- loading ---------------------------------------------------------
     def _load(self) -> None:
         if self._loaded:
             return
         self._loaded = True
-        if not self.path.exists():
-            return
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn write from an interrupted campaign
-                key = record.get("key")
-                if key:
-                    self._records[key] = record
+        self._records.update(load_jsonl_records(self.path))
 
     def refresh(self) -> None:
         """Re-read the backing file (e.g. after another process wrote)."""
@@ -96,37 +171,122 @@ class ResultStore:
         return iter(tuple(self._records))
 
     # -- writing ---------------------------------------------------------
+    def _append(self, lines: list[bytes]) -> None:
+        """Append pre-serialized record lines as one atomic write.
+
+        If the file ends mid-line (a torn write from a crashed
+        campaign), the append starts on a fresh line -- otherwise the
+        first new record would concatenate onto the torn fragment and
+        be lost with it.
+        """
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            data = b"".join(lines)
+            size = os.fstat(fd).st_size
+            if size:
+                # lseek+read (not os.pread) keeps the probe portable to
+                # platforms without fcntl; O_APPEND still sends the
+                # write to end-of-file regardless of the read offset.
+                os.lseek(fd, size - 1, os.SEEK_SET)
+                if os.read(fd, 1) != b"\n":
+                    data = b"\n" + data
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
     def put(self, key: str, record: Mapping[str, Any]) -> None:
         """Append one record and update the in-memory index.
 
         The line goes out as a single ``write()`` to an ``O_APPEND``
-        descriptor, which local filesystems keep contiguous even if
-        another process appends concurrently -- a stray second writer
-        degrades to a duplicate/last-wins record instead of torn JSON.
+        descriptor under the namespace lock, so concurrent shard
+        processes appending to one namespace interleave whole records
+        -- a colliding key degrades to a duplicate/last-wins record
+        instead of torn JSON.
         """
         self._load()
         record = {**record, "key": key}
-        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-        try:
-            os.write(fd, data)
-        finally:
-            os.close(fd)
+        data = encode_record(record)
+        with self._locked():
+            self._append([data])
         self._records[key] = record
 
-    def compact(self) -> int:
-        """Rewrite the file without superseded duplicates; returns the
-        number of live records."""
-        self._load()
-        if self._records:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
+    def compact(self) -> CompactStats:
+        """Rewrite the file without superseded duplicates.
+
+        Runs under the namespace lock and re-reads the file inside it,
+        so records appended by other processes survive the rewrite.
+        When zero live records remain the stale file is unlinked (not
+        left behind).  Returns the live-record count and the bytes
+        reclaimed.
+        """
+        if not self.path.exists():
+            # True no-op: don't create the namespace dir (and its
+            # lockfile husk) just to discover there is nothing to do.
+            self.refresh()
+            return CompactStats(0, 0)
+        with self._locked():
+            self.refresh()
+            before = self.path.stat().st_size if self.path.exists() else 0
+            if not self._records:
+                if self.path.exists():
+                    self.path.unlink()
+                return CompactStats(0, before)
             tmp = self.path.with_suffix(".jsonl.tmp")
             with tmp.open("w", encoding="utf-8") as handle:
                 for record in self._records.values():
-                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                    handle.write(encode_record(record).decode("utf-8"))
             tmp.replace(self.path)
-        return len(self._records)
+            after = self.path.stat().st_size
+        return CompactStats(len(self._records), before - after)
+
+    def destroy(self) -> None:
+        """Remove the whole namespace directory (records, lockfile,
+        rewrite temps) under the namespace lock.
+
+        Serializing on the lock means an in-flight writer's append
+        completes before the directory goes, so eviction never tears a
+        record mid-write.  Eviction is still destructive by design: a
+        writer that comes back afterwards recreates a fresh, empty
+        namespace.
+        """
+        if not self.path.parent.is_dir():
+            return
+        with self._locked():
+            shutil.rmtree(self.path.parent)
+        self._records.clear()
+        self._loaded = True
+
+    def merge(self, source: "ResultStore | str | Path") -> int:
+        """Fold another store's records into this one, last-wins by key.
+
+        ``source`` may be a :class:`ResultStore`, a namespace directory,
+        or a bare ``results.jsonl`` (e.g. copied from another shard
+        host).  Records byte-identical to what this store already holds
+        are skipped, so merging the same shard twice is a no-op and the
+        operation is idempotent.  Returns the number of records written.
+        """
+        if isinstance(source, ResultStore):
+            source_path = source.path
+        else:
+            source_path = Path(source)
+            if source_path.is_dir():
+                source_path = source_path / "results.jsonl"
+        incoming = load_jsonl_records(source_path)
+        if not incoming:
+            return 0
+        written = 0
+        with self._locked():
+            self.refresh()
+            lines: list[bytes] = []
+            for key, record in incoming.items():
+                if self._records.get(key) == record:
+                    continue
+                lines.append(encode_record(record))
+                self._records[key] = record
+                written += 1
+            if lines:
+                self._append(lines)
+        return written
 
     # -- convenience -----------------------------------------------------
     def result(self, key: str) -> EvalResult | None:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, NamedTuple
+from typing import Any, Callable, Mapping, NamedTuple
 
 from repro.core.pareto import pareto_front
 from repro.dse.spec import CampaignSpec, EvalPoint
@@ -55,10 +55,20 @@ def resolve_metric(name: str) -> Metric:
     return METRICS[name]
 
 
-def summary_data(spec: CampaignSpec,
-                 store: ResultStore) -> list[dict[str, Any]]:
-    """JSON-able per-point metric rows; missing points carry ``null``s."""
+def summary_data(
+    spec: CampaignSpec,
+    store: ResultStore,
+    failures: Mapping[str, str] | None = None,
+) -> list[dict[str, Any]]:
+    """JSON-able per-point metric rows; missing points carry ``null``s.
+
+    ``failures`` (config-hash key -> worker error, e.g.
+    ``CampaignRun.failed``) annotates rows for points whose evaluation
+    raised in the reporting run; every row carries an ``error`` field
+    (``None`` when the point did not fail or no run context is given).
+    """
     router = StoreRouter(store)
+    failures = failures or {}
     rows: list[dict[str, Any]] = []
     for point in spec.points():
         result = router.result(point)
@@ -69,6 +79,7 @@ def summary_data(spec: CampaignSpec,
             "backend": point.backend,
             "arch": point.arch,
             "stored": result is not None,
+            "error": failures.get(point.key()),
         }
         for name in _TABLE_COLUMNS:
             entry[name] = (None if result is None
@@ -77,17 +88,25 @@ def summary_data(spec: CampaignSpec,
     return rows
 
 
-def summary_table(spec: CampaignSpec, store: ResultStore) -> str:
+def summary_table(
+    spec: CampaignSpec,
+    store: ResultStore,
+    failures: Mapping[str, str] | None = None,
+) -> str:
     """Per-point metric table; missing points (and metrics the point's
-    backend does not model) show ``-``."""
+    backend does not model) show ``-``; points that failed in the
+    reporting run show ``FAILED`` -- even when an older record is still
+    stored (a ``--force`` re-evaluation that raised), in which case the
+    stale metrics stay visible next to the status."""
     rows = []
-    for entry in summary_data(spec, store):
+    for entry in summary_data(spec, store, failures):
         if entry["stored"]:
             cells = [("-" if entry[name] is None else entry[name])
                      for name in _TABLE_COLUMNS]
-            cells.append("yes")
+            cells.append("FAILED" if entry["error"] else "yes")
         else:
-            cells = ["-"] * len(_TABLE_COLUMNS) + ["missing"]
+            status = "FAILED" if entry["error"] else "missing"
+            cells = ["-"] * len(_TABLE_COLUMNS) + [status]
         rows.append([entry["config"], entry["network"], *cells])
     return format_table(
         ["config", "network",

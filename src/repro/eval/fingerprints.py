@@ -39,6 +39,23 @@ def code_fingerprint() -> str:
     return digest.hexdigest()[:12]
 
 
+def live_fingerprints() -> frozenset[str]:
+    """Store namespaces the current source tree can still produce.
+
+    One entry per registered evaluation backend (the analytical model
+    and the simulator datapaths).  Everything else under a store root
+    was written by an earlier revision of the code and can only ever be
+    read again by checking that revision out -- the GC treats such
+    namespaces as stale eviction candidates.  Note the sim-*validation*
+    campaigns (:mod:`repro.dse.simcampaign`) add their own namespace on
+    top of these; :func:`repro.dse.gc.live_namespaces` is the full set.
+    """
+    from repro.eval.registry import backend_names, get_backend
+
+    return frozenset(
+        get_backend(name).fingerprint() for name in backend_names())
+
+
 @lru_cache(maxsize=1)
 def sim_backend_fingerprint() -> str:
     """Digest of the source feeding simulator-backed evaluations.

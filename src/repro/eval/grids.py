@@ -93,6 +93,12 @@ def prewarm_grids(
         variants=BREAKDOWN_VARIANTS,
     )
     run = run_campaign(spec, store, jobs=jobs, progress=progress)
+    if run.failed:
+        # The executor tolerates per-point faults, but a prewarm must
+        # hand the harnesses a complete grid.
+        raise RuntimeError(
+            f"{len(run.failed)} prewarm points failed: "
+            + ", ".join(sorted(run.failed_labels())))
     for point in run.points:
         api.memoize(point.request(), run.results[point.key()])
     return run

@@ -254,9 +254,52 @@ class TestResultStore:
         store = ResultStore(tmp_path, namespace="ns")
         store.put("k", self._record("k", 1))
         store.put("k", self._record("k", 2))
-        assert store.compact() == 1
+        stats = store.compact()
+        assert stats.live_records == 1
+        assert stats.reclaimed_bytes > 0
         assert len(store.path.read_text().strip().splitlines()) == 1
         assert ResultStore(tmp_path, namespace="ns").get("k")["marker"] == 2
+
+    def test_compact_with_zero_live_records_unlinks(self, tmp_path):
+        # A file holding only a torn write must not survive compaction
+        # as stale on-disk garbage.
+        store = ResultStore(tmp_path, namespace="ns")
+        store.path.parent.mkdir(parents=True)
+        store.path.write_text('{"key": "k1", "trunc')
+        torn_bytes = store.path.stat().st_size
+        stats = store.compact()
+        assert stats.live_records == 0
+        assert stats.reclaimed_bytes == torn_bytes
+        assert not store.path.exists()
+
+    def test_compact_on_missing_file_is_a_noop(self, tmp_path):
+        store = ResultStore(tmp_path, namespace="ns")
+        assert store.compact() == (0, 0)
+        # Truly a no-op: no namespace dir (or lockfile husk) appears.
+        assert not store.path.parent.exists()
+
+    def test_non_dict_json_lines_skipped(self, tmp_path):
+        # A foreign/corrupt file may hold valid JSON that is not a
+        # record object; the loader must skip it, not crash.
+        store = ResultStore(tmp_path, namespace="ns")
+        store.put("k1", self._record("k1", 1))
+        with store.path.open("a") as handle:
+            handle.write('"hello"\n123\n[1, 2]\n')
+        fresh = ResultStore(tmp_path, namespace="ns")
+        assert sorted(fresh.keys()) == ["k1"]
+        assert fresh.compact().live_records == 1
+
+    def test_compact_sees_other_writers(self, tmp_path):
+        # compact() re-reads under the lock, so records appended by
+        # another store instance survive the rewrite.
+        store = ResultStore(tmp_path, namespace="ns")
+        store.put("k1", self._record("k1", 1))
+        other = ResultStore(tmp_path, namespace="ns")
+        other.put("k2", self._record("k2", 2))
+        stats = store.compact()
+        assert stats.live_records == 2
+        fresh = ResultStore(tmp_path, namespace="ns")
+        assert "k1" in fresh and "k2" in fresh
 
     def test_stale_record_version_is_a_miss(self, tmp_path):
         store = ResultStore(tmp_path, namespace="ns")
