@@ -63,7 +63,38 @@ def run_sweep(jobs: int) -> dict:
         "archs": list(ARCHS),
         "networks": list(NETWORKS),
         "backends": list(BACKENDS),
+        # Per-phase breakdown from a second, traced pass over the same
+        # grid (fresh store) -- kept out of the timed pass above so
+        # tracing overhead never pollutes the points/s trajectory.
+        "extra_info": {"obs_phases": traced_phase_breakdown(jobs)},
     }
+
+
+def traced_phase_breakdown(jobs: int) -> dict:
+    """Re-run the sweep grid with repro.obs tracing on; return the
+    span phase table (name -> count/total/mean/p50/p95/max)."""
+    from repro import obs
+    from repro.dse.executor import run_campaign
+    from repro.dse.spec import CampaignSpec
+    from repro.dse.store import ResultStore
+    from repro.obs.report import phase_breakdown
+
+    spec = CampaignSpec(
+        name="bench-arch-sweep-traced",
+        accelerators=("BitWave",),
+        networks=NETWORKS,
+        backends=BACKENDS,
+        archs=ARCHS,
+    )
+    with tempfile.TemporaryDirectory() as store_tmp, \
+            tempfile.TemporaryDirectory() as trace_tmp:
+        obs.configure(trace_tmp)
+        try:
+            run_campaign(spec, ResultStore(store_tmp), jobs=jobs)
+            obs.flush()
+            return phase_breakdown(trace_tmp)
+        finally:
+            obs.configure(None)
 
 
 def main(argv: "list[str] | None" = None) -> int:

@@ -27,6 +27,33 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+def collect_obs_phases() -> dict:
+    """Phase breakdown of one traced sim-backed evaluation.
+
+    Runs *separately* from the timed benchmark pass (tracing must not
+    perturb the numbers the perf trajectory compares), on a mini
+    workload: the per-phase table (encode/decode/GEMM/energy/lowering)
+    says where sim wall-clock goes, not how much there is of it.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro import obs
+    from repro.eval.registry import get_backend
+    from repro.eval.request import EvalRequest
+    from repro.obs.report import phase_breakdown
+
+    with tempfile.TemporaryDirectory() as tmp:
+        obs.configure(tmp)
+        try:
+            get_backend("sim-vectorized").evaluate(EvalRequest(
+                workload="cnn_lstm@frames=2+bins=32+hidden=32",
+                accelerator="BitWave",
+                backend="sim-vectorized"))
+            obs.flush()
+            return phase_breakdown(tmp)
+        finally:
+            obs.configure(None)
+
+
 def condense(raw: dict) -> dict:
     """Keep the fields future PRs compare: timings + speedups."""
     entries = []
@@ -56,6 +83,9 @@ def condense(raw: dict) -> dict:
         "headline_speedup": headline,
         "speedups": speedups,
         "benchmarks": entries,
+        # Where the sim's time goes (repro.obs spans from a separate
+        # traced pass), so the trajectory records the phase mix too.
+        "extra_info": {"obs_phases": collect_obs_phases()},
     }
 
 

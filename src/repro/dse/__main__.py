@@ -49,6 +49,13 @@ Examples::
     python -m repro.dse gc --dry-run
     python -m repro.dse gc --max-age-days 7 --max-bytes 100000000
 
+    # Structured tracing (repro.obs): where did the wall-clock go?
+    # --trace records spans/counters from every worker process into a
+    # per-run directory; the obs CLI aggregates per-phase latency,
+    # cache hit/miss counters and the slowest points.
+    python -m repro.dse run --spec campaign.json --jobs 4 --trace
+    python -m repro.obs report ~/.cache/repro-dse/traces/<run-dir>
+
     # Sim-backed validation campaigns sweep the structural simulator's
     # configuration (group size, unrolls, datapath backend) and run the
     # Section V-B validation suite at every point.
@@ -59,10 +66,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from typing import Sequence
 
 from pathlib import Path
+
+from repro import obs
 
 from repro.arch import arch_names
 from repro.dse.executor import run_campaign
@@ -136,6 +147,34 @@ def _add_format_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--format", choices=("table", "json"),
                         default="table",
                         help="output format (default: table)")
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", nargs="?", const="auto", default=None,
+                        metavar="DIR",
+                        help="emit structured trace events (repro.obs "
+                             "spans/counters) into DIR; with no DIR, a "
+                             "per-run directory under <store>/traces. "
+                             "Aggregate with `python -m repro.obs "
+                             "report DIR`")
+
+
+def _activate_tracing(args: argparse.Namespace, name: str,
+                      store_root: Path) -> Path | None:
+    """Enable tracing for this run (and its pool workers) if requested.
+
+    ``--trace`` with no value picks a fresh per-run directory under the
+    store root; the resolved directory is exported via ``REPRO_TRACE``
+    so forked/spawned workers write their own per-process files there.
+    """
+    if args.trace is None:
+        return None
+    if args.trace == "auto":
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        directory = store_root / "traces" / f"{name}-{stamp}-{os.getpid()}"
+    else:
+        directory = Path(args.trace)
+    return obs.configure(directory)
 
 
 def _add_shard_argument(parser: argparse.ArgumentParser) -> None:
@@ -215,11 +254,16 @@ def _cmd_points(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
     store = _store(args)
+    trace_dir = _activate_tracing(args, spec.name, store.root)
     progress = None if args.quiet else ProgressPrinter()
     run = run_campaign(
         spec, store, jobs=args.jobs, force=args.force, progress=progress,
         shard=args.shard)
     print(run.summary_line)
+    if trace_dir is not None:
+        obs.flush()
+        print(f"trace: {trace_dir} "
+              f"(aggregate: python -m repro.obs report {trace_dir})")
     for point in run.points:
         error = run.failure_for(point)
         if error is not None:
@@ -257,9 +301,15 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     )
     spec.validate()
     store = sim_store(args.store)
+    trace_dir = _activate_tracing(args, spec.name, store.root)
     progress = None if args.quiet else ProgressPrinter()
     run = run_sim_campaign(
         spec, store, jobs=args.jobs, force=args.force, progress=progress)
+    if trace_dir is not None:
+        obs.flush()
+        print(f"trace: {trace_dir} "
+              f"(aggregate: python -m repro.obs report {trace_dir})",
+              file=sys.stderr)
     if args.format == "json":
         _emit_json(sim_summary_data(run))
         return 1 if run.failed else 0
@@ -371,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress lines")
     _add_shard_argument(p_run)
+    _add_trace_argument(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_summary = sub.add_parser(
@@ -451,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress lines")
     _add_format_argument(p_sim)
+    _add_trace_argument(p_sim)
     p_sim.set_defaults(func=_cmd_sim)
     return parser
 

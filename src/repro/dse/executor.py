@@ -28,6 +28,7 @@ from repro.dse.spec import CampaignSpec, EvalPoint, Shard
 from repro.dse.store import ResultStore, StoreRouter
 from repro.eval.registry import get_backend
 from repro.eval.result import EvalResult
+from repro.obs import counter, flush, observe, trace
 
 #: ``progress(done, total, label, *, cached, elapsed_s)``
 ProgressFn = Callable[..., None]
@@ -73,6 +74,12 @@ class PointFailure:
     error: str
 
 
+#: perf_counter stamp of this worker process's previous point, so the
+#: gap to the next point (pool queue/dispatch wait plus chunk idling)
+#: can be reported as ``dse.worker.queue_wait``.
+_WORKER_LAST_DONE: float | None = None
+
+
 class _FailureTolerant:
     """Picklable worker wrapper turning exceptions into failure payloads.
 
@@ -80,18 +87,34 @@ class _FailureTolerant:
     exception escaping a pool worker would abort ``imap_unordered`` in
     the parent and discard every not-yet-committed result of the
     campaign.
+
+    Also the worker-side observability hook: each point runs under a
+    ``dse.point`` span, the gap since the process's previous point is
+    reported as ``dse.worker.queue_wait``, and buffered trace events
+    are flushed after every point -- ``multiprocessing.Pool`` teardown
+    does not run ``atexit`` hooks in workers, so unflushed events would
+    otherwise vanish with the pool.
     """
 
     def __init__(self, worker: Callable[[Any], tuple[str, Any, float]]):
         self.worker = worker
 
     def __call__(self, point: CampaignPoint) -> tuple[str, Any, float]:
+        global _WORKER_LAST_DONE
         start = time.perf_counter()
+        if _WORKER_LAST_DONE is not None:
+            observe("dse.worker.queue_wait", start - _WORKER_LAST_DONE)
         try:
-            return self.worker(point)
+            with trace("dse.point", label=point.label):
+                return self.worker(point)
         except Exception as exc:  # noqa: BLE001 -- any worker fault
+            counter("dse.point.exception", error=type(exc).__name__,
+                    label=point.label)
             failure = PointFailure(f"{type(exc).__name__}: {exc}")
             return point.key(), failure, time.perf_counter() - start
+        finally:
+            _WORKER_LAST_DONE = time.perf_counter()
+            flush()
 
 
 @dataclass
@@ -119,6 +142,12 @@ class CampaignRun(Generic[PointT, ResultT]):
     failed: dict[str, str] = field(default_factory=dict)
     #: config-hash key -> deserialized/computed result, all points.
     results: dict[str, ResultT] = field(default_factory=dict)
+    #: Worker-measured evaluation seconds, summed over fresh points.
+    eval_seconds: float = 0.0
+    #: Parent-measured store-persist seconds (record build + locked
+    #: append), summed -- reported separately so a slow disk is not
+    #: misattributed to the evaluation backends.
+    persist_seconds: float = 0.0
 
     def result_for(self, point: PointT) -> ResultT:
         return self.results[point.key()]
@@ -157,6 +186,9 @@ class CampaignRun(Generic[PointT, ResultT]):
             f"cached={self.cached} evaluated={self.evaluated} "
             f"failed={len(self.failed)} store={self.store_path}"
         )
+        if self.evaluated:
+            line += (f" (eval={self.eval_seconds:.2f}s "
+                     f"persist={self.persist_seconds:.2f}s)")
         if self.recommits:
             line += f" (note: {self.recommits} re-committed results)"
         if self.persist_failures:
@@ -229,19 +261,21 @@ def drive_points(
         run.points = list(unique)
     points = unique
 
+    drive_start = time.perf_counter()
     pending = []
     done = 0
-    for point in points:
-        result = None if force else cached_result(point)
-        if result is not None:
-            run.results[point.key()] = result
-            run.cached += 1
-            done += 1
-            if progress is not None:
-                progress(done, run.total, point.label,
-                         cached=True, elapsed_s=None)
-        else:
-            pending.append(point)
+    with trace("dse.cache_scan", campaign=run.spec.name):
+        for point in points:
+            result = None if force else cached_result(point)
+            if result is not None:
+                run.results[point.key()] = result
+                run.cached += 1
+                done += 1
+                if progress is not None:
+                    progress(done, run.total, point.label,
+                             cached=True, elapsed_s=None)
+            else:
+                pending.append(point)
 
     store_down = False
 
@@ -260,16 +294,21 @@ def drive_points(
                          cached=False, elapsed_s=elapsed)
             return
         recommit = key in run.results
+        run.eval_seconds += elapsed
         if store_down:
             run.persist_failures += 1
         else:
+            persist_start = time.perf_counter()
             try:
-                store_for(point).put(
-                    key, make_point_record(point, payload, elapsed))
+                with trace("dse.persist", label=point.label):
+                    store_for(point).put(
+                        key, make_point_record(point, payload, elapsed))
             except OSError:
                 # An unwritable store costs persistence, not the run.
                 store_down = True
                 run.persist_failures += 1
+            finally:
+                run.persist_seconds += time.perf_counter() - persist_start
         run.results[key] = decode_result(payload)
         if recommit:
             # The same key streaming back twice must not inflate the
@@ -294,6 +333,22 @@ def drive_points(
             for key, payload, elapsed in pool.imap_unordered(
                     safe_worker, pending, chunksize=chunksize):
                 commit(key, payload, elapsed)
+
+    # Run-level accounting, emitted by the parent (the one process that
+    # owns the commit path) so the trace report's counters match the
+    # campaign summary exactly.
+    observe("dse.drive", time.perf_counter() - drive_start,
+            campaign=run.spec.name)
+    for name, value in (
+        ("dse.points.total", run.total),
+        ("dse.points.cached", run.cached),
+        ("dse.points.evaluated", run.evaluated),
+        ("dse.points.failed", len(run.failed)),
+        ("dse.points.persist_failures", run.persist_failures),
+        ("dse.points.recommits", run.recommits),
+    ):
+        counter(name, n=value, campaign=run.spec.name)
+    flush()
 
 
 def run_campaign(

@@ -35,6 +35,7 @@ from repro.eval.registry import backend_names, get_backend
 from repro.eval.request import MODEL_BACKEND, config_hash  # noqa: F401
 from repro.eval.request import FULL_BITWAVE_VARIANT, EvalRequest
 from repro.eval.result import EvalResult
+from repro.obs import trace
 from repro.workloads.nets import parse_network
 
 #: Bump when the meaning of a point's fields changes (keys include it).
@@ -163,7 +164,9 @@ class EvalPoint:
         """Compute (never cache) this point through its backend."""
         request = self.request()
         request.validate()
-        return get_backend(self.backend).evaluate(request)
+        with trace("eval.evaluate", backend=self.backend,
+                   workload=self.network):
+            return get_backend(self.backend).evaluate(request)
 
     def to_dict(self) -> dict[str, Any]:
         return {

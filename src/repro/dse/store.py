@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Mapping, NamedTuple
@@ -41,6 +42,7 @@ from repro.dse.records import (
 )
 from repro.eval.fingerprints import code_fingerprint
 from repro.eval.result import EvalResult
+from repro.obs import observe, trace
 
 #: Environment variable overriding the default store root.
 DEFAULT_ROOT_ENV = "REPRO_DSE_STORE"
@@ -135,7 +137,12 @@ class ResultStore:
         fd = os.open(self.path.parent / LOCK_FILENAME,
                      os.O_WRONLY | os.O_CREAT, 0o644)
         try:
+            # Lock *wait* (contention with other shard processes), not
+            # the held duration; the campaign report splits them out.
+            start = time.perf_counter()
             fcntl.flock(fd, fcntl.LOCK_EX)
+            observe("store.lock_wait", time.perf_counter() - start,
+                    namespace=self.namespace)
             yield
         finally:
             os.close(fd)  # closing the descriptor releases the lock
@@ -145,7 +152,8 @@ class ResultStore:
         if self._loaded:
             return
         self._loaded = True
-        self._records.update(load_jsonl_records(self.path))
+        with trace("store.load", namespace=self.namespace):
+            self._records.update(load_jsonl_records(self.path))
 
     def refresh(self) -> None:
         """Re-read the backing file (e.g. after another process wrote)."""
@@ -206,8 +214,9 @@ class ResultStore:
         self._load()
         record = {**record, "key": key}
         data = encode_record(record)
-        with self._locked():
-            self._append([data])
+        with trace("store.put", namespace=self.namespace):
+            with self._locked():
+                self._append([data])
         self._records[key] = record
 
     def compact(self) -> CompactStats:

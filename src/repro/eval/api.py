@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.eval.registry import EvalBackend, get_backend
+from repro.obs import counter, trace
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.dse
     from repro.dse.store import ResultStore
@@ -85,22 +86,30 @@ def evaluate(request: EvalRequest,
     explicit = store is not None
     if not explicit:
         if not force and (request.backend, key) in _MEMO:
+            counter("eval.cache", result="memo", backend=request.backend)
             return _MEMO[(request.backend, key)]
         store = default_store(backend)
 
     result = None
     if store is not None and not force:
-        result = store.result(key)
+        with trace("eval.store_lookup", backend=request.backend):
+            result = store.result(key)
     if result is None:
-        result = backend.evaluate(request)
+        counter("eval.cache", result="miss", backend=request.backend)
+        with trace("eval.evaluate", backend=request.backend,
+                   workload=request.workload):
+            result = backend.evaluate(request)
         if store is not None:
             record = make_record(request, result,
                                  fingerprint=backend.fingerprint())
             try:
-                store.put(key, record)
+                with trace("eval.persist", backend=request.backend):
+                    store.put(key, record)
             except OSError:
                 if not explicit:  # degrade: stop retrying this namespace
                     _STORES[backend.fingerprint()] = None
+    else:
+        counter("eval.cache", result="store", backend=request.backend)
     if not explicit:
         memoize(request, result)
     return result

@@ -35,6 +35,7 @@ from repro.eval.lowering import (
     simulate_layer,
 )
 from repro.eval.registry import register_backend
+from repro.obs import trace
 from repro.eval.request import EvalOptions, EvalRequest
 from repro.eval.result import EvalResult, LayerResult, from_network_evaluation
 from repro.sim.npu import BitWaveNPU
@@ -77,8 +78,10 @@ class ModelBackend:
     def evaluate(self, request: EvalRequest) -> EvalResult:
         request.validate()
         accelerator = build_request_accelerator(request)
-        evaluation = model_network_evaluation(
-            accelerator, request.workload, request.options)
+        with trace("eval.model", workload=request.workload,
+                   config=request.config_label):
+            evaluation = model_network_evaluation(
+                accelerator, request.workload, request.options)
         return from_network_evaluation(
             evaluation, backend=self.name,
             clock_hz=accelerator.arch.tech.clock_frequency_hz)
@@ -101,12 +104,14 @@ class SimBackend:
         layers = []
         for spec in network_layers(request.workload, batch=options.batch):
             npu = BitWaveNPU(arch=arch, backend=self.datapath)
-            weights = layer_matmul_weights(spec)
+            with trace("eval.lower.weights", layer=spec.name):
+                weights = layer_matmul_weights(spec)
             run = simulate_layer(spec, npu,
                                  max_contexts=options.sim_max_contexts,
                                  weights=weights)
-            stats = layer_stats_for_sim(spec, arch.group_size,
-                                        weights=weights)
+            with trace("eval.lower.stats", layer=spec.name):
+                stats = layer_stats_for_sim(spec, arch.group_size,
+                                            weights=weights)
             analytic = analytic_compute_cycles(
                 stats,
                 k=spec.k,

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.arch import ArchSpec
+from repro.obs import trace
 from repro.sim.energy import (
     SimEnergyBreakdown,
     fused_dram_elems,
@@ -127,13 +128,28 @@ def simulate_layer(
     """Run one layer's matmul on ``npu``, rescaled to full contexts.
 
     ``weights`` lets a caller that already materialized the layer's
-    synthetic weights (they are not cached) reuse them.
+    synthetic weights (they are not cached) reuse them.  Each call
+    emits an ``eval.lower.layer`` span (with the simulator dispatch
+    under ``eval.lower.sim_call``) when tracing is on.
     """
+    with trace("eval.lower.layer", layer=spec.name, network=spec.network,
+               kind=spec.kind):
+        return _simulate_layer(spec, npu, max_contexts, weights)
+
+
+def _simulate_layer(
+    spec: LayerSpec,
+    npu: BitWaveNPU,
+    max_contexts: int,
+    weights: np.ndarray | None,
+) -> SimLayerRun:
     if weights is None:
-        weights = layer_matmul_weights(spec)
+        with trace("eval.lower.weights", layer=spec.name):
+            weights = layer_matmul_weights(spec)
     rows = output_rows(spec)
     sim_rows = rows if max_contexts == 0 else min(rows, max_contexts)
-    run = npu.run_fc(weights, layer_matmul_activations(spec, sim_rows))
+    with trace("eval.lower.sim_call", layer=spec.name):
+        run = npu.run_fc(weights, layer_matmul_activations(spec, sim_rows))
 
     blocks_sim = _ceil_div(sim_rows, npu.oxu)
     blocks_full = _ceil_div(rows, npu.oxu)

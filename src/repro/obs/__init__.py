@@ -1,0 +1,48 @@
+"""``repro.obs``: structured tracing, metrics, and profiling.
+
+A low-overhead, process-safe observability layer shared by the
+evaluation API, the structural simulator, and the campaign executor:
+
+- :func:`trace` -- a context-manager *span* timing one phase
+  (``with trace("eval.lower.layer", layer=name): ...``);
+- :func:`counter` -- a typed monotonic event count (cache hits/misses,
+  kernel dispatches, failed points);
+- :func:`gauge` -- a sampled value (queue depths, sizes);
+- :func:`observe` -- a pre-measured duration reported as a span (lock
+  waits and other intervals timed by the caller).
+
+Events land as JSONL in a per-run trace directory, **one file per
+process** (``trace-<pid>-<token>.jsonl``), so multiprocessing pool
+workers write without coordination and the aggregator merges on read
+(:mod:`repro.obs.report`, ``python -m repro.obs report <dir>``).
+
+Tracing is **disabled by default** and strictly no-op when off: every
+entry point checks one module global and returns immediately, a
+property pinned by the overhead tests.  Enable it by exporting
+``REPRO_TRACE=<dir>`` (inherited by worker processes) or passing
+``--trace`` to ``python -m repro.dse run``.
+"""
+
+from repro.obs.tracer import (
+    TRACE_ENV,
+    configure,
+    counter,
+    enabled,
+    flush,
+    gauge,
+    observe,
+    trace,
+    trace_dir,
+)
+
+__all__ = [
+    "TRACE_ENV",
+    "configure",
+    "counter",
+    "enabled",
+    "flush",
+    "gauge",
+    "observe",
+    "trace",
+    "trace_dir",
+]

@@ -1,0 +1,94 @@
+"""``python -m repro.obs``: aggregate and inspect trace directories.
+
+Examples::
+
+    # Capture a trace (the campaign CLI wires this up as --trace).
+    REPRO_TRACE=/tmp/trace python -m repro.dse run --spec campaign.json
+
+    # Where did the wall-clock go?  Per-phase count/total/mean/p50/p95
+    # over every worker process's trace file, plus counters (cache
+    # hits/misses, dispatches, failed points) and the slowest spans.
+    python -m repro.obs report /tmp/trace
+    python -m repro.obs report /tmp/trace --format json
+
+    # Just the top-N slowest individual spans (slow-point hunting).
+    python -m repro.obs slow /tmp/trace --top 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.obs.report import (
+    iter_events,
+    render_report,
+    report_data,
+    slowest_spans,
+    slowest_table,
+)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    data = report_data(args.dir, top=args.top)
+    if args.format == "json":
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0
+    print(render_report(data))
+    return 0
+
+
+def _cmd_slow(args: argparse.Namespace) -> int:
+    slowest = slowest_spans(iter_events(args.dir), top=args.top)
+    if args.format == "json":
+        print(json.dumps(slowest, indent=2, sort_keys=True))
+        return 0
+    print(slowest_table(slowest) if slowest else "(no spans)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="aggregate structured trace directories "
+                    "(spans, counters, gauges) into phase reports",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser(
+        "report", help="per-phase latency/counter tables for one trace "
+                       "directory")
+    p_report.add_argument("dir", help="trace directory (from REPRO_TRACE "
+                                      "or `python -m repro.dse run --trace`)")
+    p_report.add_argument("--top", type=int, default=10, metavar="N",
+                          help="slowest spans to list (default 10)")
+    p_report.add_argument("--format", choices=("table", "json"),
+                          default="table",
+                          help="output format (default: table)")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_slow = sub.add_parser(
+        "slow", help="top-N slowest individual spans with attributes")
+    p_slow.add_argument("dir", help="trace directory")
+    p_slow.add_argument("--top", type=int, default=10, metavar="N",
+                        help="spans to list (default 10)")
+    p_slow.add_argument("--format", choices=("table", "json"),
+                        default="table",
+                        help="output format (default: table)")
+    p_slow.set_defaults(func=_cmd_slow)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

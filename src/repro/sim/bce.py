@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.signmag import MAGNITUDE_PLANES, PLANE_SIGNIFICANCE
+from repro.obs import trace
 from repro.sim.smm import smm_column_sum, smm_plane_gemm
 from repro.sim.zcip import ParsedIndex
 
@@ -142,6 +143,9 @@ class BitPlaneEngine:
             bits = planes[:, :, plane, :]
             if not bits.any():
                 continue  # empty plane: no column anywhere streams it
-            outputs += smm_plane_gemm(activations, bits, signs) << np.int64(
-                PLANE_SIGNIFICANCE[plane])
+            # One span per dispatched plane GEMM: both the dispatch
+            # count and where the datapath's wall-clock goes.
+            with trace("sim.plane_gemm", plane=int(plane)):
+                outputs += smm_plane_gemm(activations, bits, signs) \
+                    << np.int64(PLANE_SIGNIFICANCE[plane])
         return outputs

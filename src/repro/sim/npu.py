@@ -39,6 +39,7 @@ import numpy as np
 from repro.arch import ArchSpec, default_arch
 from repro.arch.spec import SEGMENT_KERNELS  # noqa: F401  (canonical home)
 from repro.core.signmag import sm_bitplanes
+from repro.obs import counter, trace
 from repro.sim.bce import BitColumnEngine, BitPlaneEngine
 from repro.sim.dispatcher import DataDispatcher
 from repro.sim.energy import SimEnergyBreakdown, price_matmul
@@ -208,7 +209,8 @@ class BitWaveNPU:
 
         Same contract as :meth:`_compute_reference`.
         """
-        parsed = self.parser.parse_array(index_bytes)
+        with trace("sim.decode", backend="vectorized"):
+            parsed = self.parser.parse_array(index_bytes)
         engine = BitPlaneEngine(self.group_size)
         outputs = engine.process_layer(
             acts, planes, signs, parsed.streamed_planes)
@@ -241,13 +243,18 @@ class BitWaveNPU:
                 [acts, np.zeros((n, pad), dtype=np.int64)], axis=1)
         acts = acts.reshape(n, -1, g)  # (N, ng, G)
 
-        planes, signs, index_bytes = self._encode_groups(weights)
+        with trace("sim.encode", kernels=k, reduction=c):
+            planes, signs, index_bytes = self._encode_groups(weights)
         n_groups = planes.shape[1]
 
         compute = (self._compute_vectorized if self.backend == "vectorized"
                    else self._compute_reference)
-        outputs, column_ops, payload_bits, sync = compute(
-            acts, planes, signs, index_bytes)
+        with trace("sim.compute", backend=self.backend, kernels=k,
+                   contexts=n):
+            outputs, column_ops, payload_bits, sync = compute(
+                acts, planes, signs, index_bytes)
+        counter("sim.kernel_dispatch", backend=self.backend)
+        counter("sim.column_ops", n=int(column_ops), backend=self.backend)
 
         # Segment-level lockstep: kernels in blocks of 8 share the parser
         # schedule, so a segment context costs the max sync counter.
@@ -272,16 +279,8 @@ class BitWaveNPU:
         # once per output context (payload_bits == sync-counter total
         # times G); every tensor crosses DRAM/SRAM once at this level
         # (whole-network fusion rules live in repro.eval.lowering).
-        energy = price_matmul(
-            self.tech,
-            lane_cycles=float(payload_bits) * n,
-            weight_stream_bytes=(payload_bits + 8 * k * n_groups) / 8.0,
-            dram_act_in_elems=float(n * c),
-            dram_act_out_elems=float(n * k),
-            act_elems=float(n * c),
-            out_elems=float(n * k),
-            n_mac=float(n) * k * c,
-        )
+        with trace("sim.energy_epilog"):
+            energy = self._price_fc(payload_bits, n, c, k, n_groups)
 
         return LayerRun(
             outputs=outputs,
@@ -291,6 +290,19 @@ class BitWaveNPU:
             weight_bits_fetched=payload_bits + 8 * k * n_groups,
             dense_weight_bits=k * c * 8,
             energy=energy,
+        )
+
+    def _price_fc(self, payload_bits: int, n: int, c: int, k: int,
+                  n_groups: int) -> SimEnergyBreakdown:
+        return price_matmul(
+            self.tech,
+            lane_cycles=float(payload_bits) * n,
+            weight_stream_bytes=(payload_bits + 8 * k * n_groups) / 8.0,
+            dram_act_in_elems=float(n * c),
+            dram_act_out_elems=float(n * k),
+            act_elems=float(n * c),
+            out_elems=float(n * k),
+            n_mac=float(n) * k * c,
         )
 
     def run_conv(

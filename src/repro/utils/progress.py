@@ -3,21 +3,48 @@
 The DSE executor accepts any callable with the signature
 ``progress(done, total, label, *, cached, elapsed_s)``;
 :class:`ProgressPrinter` is the stock implementation used by the
-``python -m repro.dse`` CLI (one diff-friendly line per event).
+``python -m repro.dse`` CLI (one diff-friendly line per event, with a
+live points/s rate and ETA derived from the completions it observes).
 """
 
 from __future__ import annotations
 
 import sys
-from typing import TextIO
+import time
+from typing import Callable, TextIO
+
+
+def format_eta(seconds: float) -> str:
+    """Compact ``ETA`` spelling: ``42s``, ``3m12s``, ``1h04m``."""
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
 
 
 class ProgressPrinter:
-    """Print one ``[done/total]`` line per completed evaluation point."""
+    """Print one ``[done/total]`` line per completed evaluation point.
 
-    def __init__(self, stream: TextIO | None = None, enabled: bool = True):
+    Fresh (non-cached) completions drive a wall-clock points/s rate and
+    an ETA over the remaining points, appended to the live line once at
+    least one fresh point has landed -- cached points replay from disk
+    orders of magnitude faster and would only distort the forecast.
+    ``clock`` is injectable for tests (defaults to ``time.monotonic``).
+    """
+
+    def __init__(self, stream: TextIO | None = None, enabled: bool = True,
+                 clock: Callable[[], float] = time.monotonic):
         self.stream = stream if stream is not None else sys.stderr
         self.enabled = enabled
+        self._clock = clock
+        # Construction time is the campaign start: the CLI builds the
+        # printer right before run_campaign, so cache-scan time counts.
+        self._start = self._clock()
+        self._fresh = 0
 
     def __call__(
         self,
@@ -33,5 +60,16 @@ class ProgressPrinter:
         width = len(str(total))
         source = "cached" if cached else (
             f"{elapsed_s:.2f}s" if elapsed_s is not None else "done")
-        print(f"[{done:{width}d}/{total}] {label} ({source})",
+        pace = ""
+        if not cached:
+            self._fresh += 1
+            wall = self._clock() - self._start
+            if wall > 0 and self._fresh > 0:
+                rate = self._fresh / wall
+                remaining = max(0, total - done)
+                pace = f" [{rate:.2f}/s"
+                if remaining:
+                    pace += f", ETA {format_eta(remaining / rate)}"
+                pace += "]"
+        print(f"[{done:{width}d}/{total}] {label} ({source}){pace}",
               file=self.stream, flush=True)

@@ -1,0 +1,22 @@
+"""Shared fixtures for the ``repro.obs`` test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def tracing_disabled_after():
+    """Never leak an enabled tracer (or REPRO_TRACE) into other tests."""
+    yield
+    obs.configure(None)
+
+
+@pytest.fixture
+def trace_dir(tmp_path):
+    """Tracing enabled into a throwaway directory for one test."""
+    directory = obs.configure(tmp_path / "trace")
+    yield directory
+    obs.configure(None)

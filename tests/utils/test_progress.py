@@ -1,0 +1,99 @@
+"""ProgressPrinter live lines: rate, ETA, and cached suppression."""
+
+from __future__ import annotations
+
+import io
+
+from repro.utils.progress import ProgressPrinter, format_eta
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_printer():
+    stream = io.StringIO()
+    clock = FakeClock()
+    return ProgressPrinter(stream=stream, clock=clock), stream, clock
+
+
+class TestFormatEta:
+    def test_seconds(self):
+        assert format_eta(0.0) == "0s"
+        assert format_eta(42.4) == "42s"
+
+    def test_minutes(self):
+        assert format_eta(192) == "3m12s"
+        assert format_eta(60) == "1m00s"
+
+    def test_hours(self):
+        assert format_eta(3840) == "1h04m"
+
+    def test_negative_clamped(self):
+        assert format_eta(-5) == "0s"
+
+
+class TestProgressPrinter:
+    def test_fresh_point_line_has_rate_and_eta(self):
+        printer, stream, clock = make_printer()
+        clock.advance(2.0)  # one fresh point in 2s -> 0.50/s
+        printer(1, 3, "SCNN/cnn_lstm", cached=False, elapsed_s=2.0)
+        line = stream.getvalue().strip()
+        assert line.startswith("[1/3] SCNN/cnn_lstm (2.00s)")
+        # 2 points remain at 0.50/s -> 4s out.
+        assert "[0.50/s, ETA 4s]" in line
+
+    def test_rate_tracks_completions(self):
+        printer, stream, clock = make_printer()
+        clock.advance(1.0)
+        printer(1, 4, "a", cached=False, elapsed_s=1.0)
+        clock.advance(1.0)
+        printer(2, 4, "b", cached=False, elapsed_s=1.0)
+        lines = stream.getvalue().strip().splitlines()
+        # 2 fresh in 2s -> 1.00/s, 2 remaining -> ETA 2s.
+        assert "[1.00/s, ETA 2s]" in lines[1]
+
+    def test_cached_points_get_no_pace(self):
+        printer, stream, clock = make_printer()
+        clock.advance(1.0)
+        printer(1, 2, "a", cached=True)
+        line = stream.getvalue().strip()
+        assert line == "[1/2] a (cached)"
+        assert "ETA" not in line
+
+    def test_cached_points_do_not_distort_rate(self):
+        printer, stream, clock = make_printer()
+        clock.advance(1.0)
+        printer(1, 3, "a", cached=True)
+        clock.advance(1.0)
+        printer(2, 3, "b", cached=False, elapsed_s=1.0)
+        lines = stream.getvalue().strip().splitlines()
+        # 1 fresh completion over the 2s wall -> 0.50/s, not 1.00/s.
+        assert "[0.50/s, ETA 2s]" in lines[1]
+
+    def test_last_point_has_rate_but_no_eta(self):
+        printer, stream, clock = make_printer()
+        clock.advance(2.0)
+        printer(2, 2, "done", cached=False, elapsed_s=2.0)
+        line = stream.getvalue().strip()
+        assert "[0.50/s]" in line
+        assert "ETA" not in line
+
+    def test_disabled_prints_nothing(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream, enabled=False)
+        printer(1, 2, "a", cached=False, elapsed_s=1.0)
+        assert stream.getvalue() == ""
+
+    def test_width_pads_to_total(self):
+        printer, stream, clock = make_printer()
+        clock.advance(1.0)
+        printer(7, 100, "x", cached=True)
+        assert stream.getvalue().startswith("[  7/100]")
