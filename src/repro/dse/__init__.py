@@ -14,16 +14,30 @@ made practical by the vectorized datapath backend.
 
 Campaigns shard across processes/hosts deterministically
 (:class:`Shard`, ``run --shard i/N``), shard stores fold back together
-with :meth:`ResultStore.merge`, worker exceptions become per-point
-failure records (``CampaignRun.failed``) instead of aborting the pool,
-and :func:`repro.dse.gc.collect_garbage` compacts live store
-namespaces and evicts stale ones.
+with :meth:`ResultStore.merge`, and :func:`repro.dse.gc.collect_garbage`
+compacts live store namespaces and evicts stale ones.
+
+Execution is self-healing (:class:`RetryPolicy` + the watchdog pool in
+:mod:`repro.dse.pool`): worker exceptions become per-point failure
+records instead of aborting the pool, transient failures retry with
+exponential backoff, hung or dead workers are killed and respawned,
+poison points are quarantined, and SIGINT/SIGTERM stop a run
+gracefully with completed results committed.  The machinery is
+chaos-tested through deterministic fault injection (:mod:`repro.faults`,
+``run --inject``).
 
 CLI: ``python -m repro.dse {init,points,run,summary,pareto,merge,gc,sim}``.
 """
 
-from repro.dse.executor import CampaignRun, evaluate_point, run_campaign
+from repro.dse.executor import (
+    CampaignRun,
+    PointFailure,
+    evaluate_point,
+    run_campaign,
+)
 from repro.dse.gc import collect_garbage, live_namespaces
+from repro.dse.pool import WatchdogPool
+from repro.dse.retry import RetryPolicy
 from repro.dse.simcampaign import (
     SimCampaignRun,
     SimCampaignSpec,
@@ -47,7 +61,12 @@ from repro.dse.spec import (
     config_hash,
     paper_grid,
 )
-from repro.dse.store import CompactStats, ResultStore, default_store_root
+from repro.dse.store import (
+    CompactStats,
+    ResultStore,
+    ScanResult,
+    default_store_root,
+)
 from repro.dse.summary import (
     METRICS,
     campaign_pareto,
@@ -61,8 +80,12 @@ __all__ = [
     "CampaignSpec",
     "CompactStats",
     "EvalPoint",
+    "PointFailure",
     "ResultStore",
+    "RetryPolicy",
+    "ScanResult",
     "Shard",
+    "WatchdogPool",
     "SimCampaignRun",
     "SimCampaignSpec",
     "SimPoint",

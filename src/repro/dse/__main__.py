@@ -60,6 +60,20 @@ Examples::
     # configuration (group size, unrolls, datapath backend) and run the
     # Section V-B validation suite at every point.
     python -m repro.dse sim --group-sizes 4,8 --oxus 8,16 --jobs 4
+
+    # Self-healing: failed attempts retry with exponential backoff
+    # (poison errors are quarantined at once), a per-point --timeout
+    # arms the hung-worker watchdog, and SIGINT/SIGTERM stop the run
+    # gracefully (completed results are committed; rerun to resume).
+    python -m repro.dse run --spec campaign.json --jobs 4 \\
+        --max-attempts 5 --timeout 600
+
+    # Chaos-test the machinery itself: deterministic fault injection
+    # (repro.faults).  Same seed, same campaign => same faults, so CI
+    # can assert the exact retry/timeout counters a plan must produce.
+    python -m repro.dse run --name chaos --accelerators SCNN \\
+        --networks cnn_lstm --jobs 2 --timeout 30 \\
+        --inject 'seed=7,crash:0.2:attempt<1,torn_write:0.3'
 """
 
 from __future__ import annotations
@@ -69,15 +83,16 @@ import json
 import os
 import sys
 import time
-from typing import Sequence
+from typing import Any, Sequence
 
 from pathlib import Path
 
-from repro import obs
+from repro import faults, obs
 
 from repro.arch import arch_names
-from repro.dse.executor import run_campaign
+from repro.dse.executor import CampaignRun, run_campaign
 from repro.dse.gc import DEFAULT_MAX_AGE_DAYS, collect_garbage, gc_table
+from repro.dse.retry import RetryPolicy
 from repro.dse.simcampaign import (
     SimCampaignSpec,
     run_sim_campaign,
@@ -177,6 +192,59 @@ def _activate_tracing(args: argparse.Namespace, name: str,
     return obs.configure(directory)
 
 
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-attempts", type=int, default=None,
+                        metavar="N",
+                        help="attempts per point before it is quarantined "
+                             "as failed (default: the spec's retry policy, "
+                             f"else {RetryPolicy().max_attempts}; 1 = "
+                             "never retry)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-point wall-clock deadline; a worker "
+                             "past it is killed by the watchdog and the "
+                             "point retried (default: none)")
+    parser.add_argument("--backoff", type=float, default=None, metavar="S",
+                        help="first retry backoff, doubled per attempt "
+                             "with deterministic jitter (default: "
+                             f"{RetryPolicy().backoff_s:g})")
+    parser.add_argument("--inject", metavar="SPEC", default=None,
+                        help="deterministic fault injection (chaos "
+                             "testing), e.g. "
+                             "'seed=7,crash:0.2:attempt<1,torn_write:0.3'"
+                             "; kinds: "
+                             + ",".join(faults.FAULT_KINDS))
+
+
+def _activate_faults(args: argparse.Namespace) -> None:
+    """Arm fault injection for this run (and its pool workers).
+
+    The parsed plan's canonical spec is exported via ``REPRO_FAULTS``
+    so forked/spawned workers inject from the identical plan.
+    """
+    if args.inject is None:
+        return
+    plan = faults.configure(args.inject)
+    assert plan is not None
+    print(f"fault injection armed: {plan.spec()}", file=sys.stderr)
+
+
+def _policy_from_args(args: argparse.Namespace,
+                      base: RetryPolicy | None) -> RetryPolicy:
+    """CLI retry flags layered over the spec's stored policy."""
+    return (base or RetryPolicy()).with_overrides(
+        max_attempts=args.max_attempts,
+        timeout_s=args.timeout,
+        backoff_s=args.backoff,
+    )
+
+
+def _run_exit_code(run: "CampaignRun[Any, Any]") -> int:
+    """Campaign exit status: 0 clean, 1 failed points, 128+N signal."""
+    if run.interrupted:
+        return 128 + (run.interrupt_signum or 0)
+    return 1 if run.failed else 0
+
+
 def _add_shard_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shard", type=Shard.parse, default=None,
                         metavar="I/N",
@@ -255,10 +323,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
     store = _store(args)
     trace_dir = _activate_tracing(args, spec.name, store.root)
+    _activate_faults(args)
     progress = None if args.quiet else ProgressPrinter()
     run = run_campaign(
         spec, store, jobs=args.jobs, force=args.force, progress=progress,
-        shard=args.shard)
+        shard=args.shard, policy=_policy_from_args(args, spec.retry))
     print(run.summary_line)
     if trace_dir is not None:
         obs.flush()
@@ -268,17 +337,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
         error = run.failure_for(point)
         if error is not None:
             print(f"FAILED {point.label}: {error}", file=sys.stderr)
+    if run.interrupted:
+        print(f"interrupted: {run.remaining} points remain; rerun the "
+              f"same command to resume from the store", file=sys.stderr)
     print()
     print(summary_table(spec, store, failures=run.failed))
-    return 1 if run.failed else 0
+    return _run_exit_code(run)
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
+    from repro.dse.store import scan_jsonl
+
     spec = _load_spec(args)
+    store = _store(args)
+    corrupt = len(scan_jsonl(store.path).corrupt)
     if args.format == "json":
-        _emit_json(summary_data(spec, _store(args)))
-        return 0
-    print(summary_table(spec, _store(args)))
+        _emit_json(summary_data(spec, store))
+    else:
+        print(summary_table(spec, store))
+    if corrupt:
+        # Damage is worth a line even in table mode: torn lines mean a
+        # writer crashed mid-append; `gc` quarantines them.
+        print(f"WARNING: {corrupt} corrupt line(s) in {store.path}; "
+              f"run `python -m repro.dse gc` to quarantine them",
+              file=sys.stderr)
     return 0
 
 
@@ -302,9 +384,11 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     spec.validate()
     store = sim_store(args.store)
     trace_dir = _activate_tracing(args, spec.name, store.root)
+    _activate_faults(args)
     progress = None if args.quiet else ProgressPrinter()
     run = run_sim_campaign(
-        spec, store, jobs=args.jobs, force=args.force, progress=progress)
+        spec, store, jobs=args.jobs, force=args.force, progress=progress,
+        policy=_policy_from_args(args, None))
     if trace_dir is not None:
         obs.flush()
         print(f"trace: {trace_dir} "
@@ -312,7 +396,7 @@ def _cmd_sim(args: argparse.Namespace) -> int:
               file=sys.stderr)
     if args.format == "json":
         _emit_json(sim_summary_data(run))
-        return 1 if run.failed else 0
+        return _run_exit_code(run)
     print(run.summary_line)
     print()
     print(format_table(
@@ -320,7 +404,7 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         sim_summary_rows(run),
         title="Sim-backed validation campaign (paper bound: <6%)",
     ))
-    return 1 if run.failed else 0
+    return _run_exit_code(run)
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
@@ -422,6 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress per-point progress lines")
     _add_shard_argument(p_run)
     _add_trace_argument(p_run)
+    _add_resilience_arguments(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_summary = sub.add_parser(
@@ -503,6 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress per-point progress lines")
     _add_format_argument(p_sim)
     _add_trace_argument(p_sim)
+    _add_resilience_arguments(p_sim)
     p_sim.set_defaults(func=_cmd_sim)
     return parser
 

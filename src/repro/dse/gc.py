@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.dse.store import (
+    CORRUPT_PREFIX,
     LOCK_FILENAME,
     ResultStore,
     default_store_root,
@@ -56,6 +57,7 @@ class NamespaceReport:
     age_days: float       #: since the last append
     action: str           #: ``"keep"`` | ``"compact"`` | ``"evict"``
     reclaimed_bytes: int  #: what the action frees (0 for ``"keep"``)
+    corrupt_lines: int = 0  #: torn/foreign lines found in results.jsonl
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -67,6 +69,7 @@ class NamespaceReport:
             "age_days": self.age_days,
             "action": self.action,
             "reclaimed_bytes": self.reclaimed_bytes,
+            "corrupt_lines": self.corrupt_lines,
         }
 
 
@@ -111,13 +114,16 @@ def _is_empty_namespace(ns_dir: Path) -> bool:
 
     The shape a zero-live-record :meth:`ResultStore.compact` leaves
     behind: the directory, its lockfile (compact always creates one),
-    and possibly an abandoned rewrite temp -- no ``results.jsonl``.
-    The lockfile is required: a merely empty directory under the root
-    could belong to anything and is not ours to evict.
+    possibly an abandoned rewrite temp, and possibly corrupt-line
+    quarantine sidecars -- no ``results.jsonl``.  The lockfile is
+    required: a merely empty directory under the root could belong to
+    anything and is not ours to evict.
     """
     allowed = {LOCK_FILENAME, "results.jsonl", "results.jsonl.tmp"}
     names = {child.name for child in ns_dir.iterdir()}
-    return LOCK_FILENAME in names and names <= allowed
+    extras = {name for name in names
+              if name.startswith(CORRUPT_PREFIX) and name.endswith(".jsonl")}
+    return LOCK_FILENAME in names and names - extras <= allowed
 
 
 def collect_garbage(
@@ -174,10 +180,11 @@ def collect_garbage(
                     "age_days": max(
                         0.0, (clock - stat.st_mtime) / 86400.0),
                     "compacted_size": 0,
+                    "corrupt_lines": 0,
                 })
                 continue
             stat = path.stat()
-            records, raw_lines = scan_jsonl(path)
+            records, raw_lines, corrupt = scan_jsonl(path)
             scanned.append({
                 "namespace": ns_dir.name,
                 "dir": ns_dir,
@@ -187,6 +194,7 @@ def collect_garbage(
                 "size_bytes": stat.st_size,
                 "age_days": max(0.0, (clock - stat.st_mtime) / 86400.0),
                 "compacted_size": _compacted_size(records),
+                "corrupt_lines": len(corrupt),
             })
 
     # Pass 1: age policy (plus unconditional compaction of live dirs).
@@ -250,6 +258,7 @@ def collect_garbage(
                 age_days=entry["age_days"],
                 action=entry["action"],
                 reclaimed_bytes=entry["reclaimed_bytes"],
+                corrupt_lines=entry["corrupt_lines"],
             )
             for entry in scanned),
     )
@@ -265,6 +274,7 @@ def gc_table(report: GcReport) -> str:
             "yes" if ns.live else "no",
             ns.records,
             ns.live_records,
+            ns.corrupt_lines,
             ns.size_bytes,
             f"{ns.age_days:.1f}",
             ns.action,
@@ -273,11 +283,14 @@ def gc_table(report: GcReport) -> str:
         for ns in report.namespaces
     ]
     mode = "dry run -- nothing touched" if report.dry_run else "applied"
+    total_corrupt = sum(ns.corrupt_lines for ns in report.namespaces)
+    damage = (f", {total_corrupt} corrupt lines quarantined"
+              if total_corrupt else "")
     return format_table(
-        ["namespace", "live", "lines", "records", "bytes", "age (d)",
-         "action", "reclaims"],
+        ["namespace", "live", "lines", "records", "corrupt", "bytes",
+         "age (d)", "action", "reclaims"],
         rows,
         title=(f"Store GC {report.root} ({mode}): "
                f"{report.compacted} compacted, {report.evicted} evicted, "
-               f"{report.reclaimed_bytes} bytes reclaimed"),
+               f"{report.reclaimed_bytes} bytes reclaimed{damage}"),
     )

@@ -60,15 +60,21 @@ def make_record(
     result: EvalResult | Mapping[str, Any],
     elapsed_s: float | None = None,
     fingerprint: str | None = None,
+    attempts: int | None = None,
+    last_error: str | None = None,
 ) -> dict[str, Any]:
     """Assemble one store record for ``point``'s result.
 
     ``fingerprint`` defaults to the analytical-model digest; backends
     with their own source fingerprint (the simulator) pass theirs.
+    ``attempts``/``last_error`` record a bumpy evaluation history (the
+    executor's retry path sets them when a point needed more than one
+    attempt); omitted, the keys stay out of the record so pre-existing
+    stores remain byte-compatible.
     """
     payload = (result.to_dict() if isinstance(result, EvalResult)
                else dict(result))
-    return {
+    record: dict[str, Any] = {
         "version": RECORD_VERSION,
         "key": point.key(),
         "point": point.to_dict(),
@@ -77,3 +83,7 @@ def make_record(
         "elapsed_s": elapsed_s,
         "result": payload,
     }
+    if attempts is not None:
+        record["attempts"] = attempts
+        record["last_error"] = last_error
+    return record

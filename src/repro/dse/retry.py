@@ -1,0 +1,149 @@
+"""Retry policies: how a campaign survives transient point failures.
+
+A :class:`RetryPolicy` says how many times a point may be attempted,
+how long to wait between attempts (exponential backoff with
+*deterministic* jitter keyed by the point's config hash, so two runs
+of the same campaign back off identically), which exception classes
+are worth retrying versus *poison* (deterministic bugs that will fail
+every attempt identically), and the wall-clock deadline past which the
+parent-side watchdog declares a worker hung.
+
+The policy rides on :class:`~repro.dse.spec.CampaignSpec` (optional
+``retry`` field, JSON round-tripped) and the ``run``/``sim`` CLIs
+(``--max-attempts`` / ``--timeout`` / ``--backoff``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
+
+#: Exception type names that will fail identically on every attempt --
+#: programming errors, not infrastructure weather.  Everything else
+#: (OSError, MemoryError, timeouts, worker death, injected faults) is
+#: presumed transient and worth the retry budget.
+POISON_TYPES = (
+    "AssertionError",
+    "AttributeError",
+    "KeyError",
+    "NotImplementedError",
+    "TypeError",
+    "ValueError",
+    "ZeroDivisionError",
+)
+
+#: Failure kinds the parent synthesizes when a worker produces no
+#: payload at all; always retryable (the process, not the point's
+#: code, is what failed -- until proven otherwise by the budget).
+WORKER_FAILURE_KINDS = ("timeout", "heartbeat-silent", "worker-died")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and a point deadline."""
+
+    #: Total attempts per point (1 = never retry).
+    max_attempts: int = 3
+    #: Per-point wall-clock deadline the watchdog enforces by killing
+    #: and respawning the worker (``None`` = no deadline).
+    timeout_s: float | None = None
+    #: First backoff; attempt ``n`` waits ``backoff_s * factor**n``
+    #: (clamped to ``max_backoff_s``) plus deterministic jitter.
+    backoff_s: float = 0.1
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 5.0
+    #: Jitter fraction: the wait is scaled by a factor drawn
+    #: deterministically from ``(key, attempt)`` in
+    #: ``[1 - jitter, 1 + jitter]``.
+    jitter: float = 0.1
+    #: Kill a worker whose heartbeat has been silent this long while a
+    #: point is in flight (``None`` disables; the per-point timeout is
+    #: the usual guard, this one catches hard-frozen workers when no
+    #: timeout is set).
+    heartbeat_timeout_s: float | None = 30.0
+    #: Exception type names classified as poison (never retried).
+    poison: tuple[str, ...] = field(default=POISON_TYPES)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "poison", tuple(self.poison))
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.heartbeat_timeout_s is not None \
+                and self.heartbeat_timeout_s <= 0:
+            raise ValueError(
+                f"heartbeat_timeout_s must be > 0, got "
+                f"{self.heartbeat_timeout_s}")
+
+    def is_retryable(self, etype: str, kind: str = "exception") -> bool:
+        """Whether a failure is worth another attempt.
+
+        ``kind`` is ``"exception"`` for a payload the worker streamed
+        back, or one of :data:`WORKER_FAILURE_KINDS` for failures the
+        parent synthesized (those are always retryable -- the process
+        died, the point's code may be fine).
+        """
+        if kind in WORKER_FAILURE_KINDS:
+            return True
+        return etype not in self.poison
+
+    def backoff_for(self, key: str, attempt: int) -> float:
+        """Seconds to wait before re-dispatching ``key``'s attempt
+        ``attempt + 1`` -- exponential in ``attempt``, jittered by a
+        deterministic draw so shards don't thundering-herd one store
+        yet every run of a campaign backs off identically."""
+        base = min(self.backoff_s * self.backoff_factor ** attempt,
+                   self.max_backoff_s)
+        if base <= 0 or self.jitter == 0:
+            return base
+        digest = hashlib.sha256(
+            f"backoff|{key}|{attempt}".encode("utf-8")).digest()
+        u = int.from_bytes(digest[:8], "big") / 2.0 ** 64  # [0, 1)
+        return base * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+    def needs_watchdog(self) -> bool:
+        """Whether this policy requires parent-side worker supervision
+        (and therefore process-based execution even at ``--jobs 1``)."""
+        return self.timeout_s is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "max_attempts": self.max_attempts,
+            "timeout_s": self.timeout_s,
+            "backoff_s": self.backoff_s,
+            "backoff_factor": self.backoff_factor,
+            "max_backoff_s": self.max_backoff_s,
+            "jitter": self.jitter,
+            "heartbeat_timeout_s": self.heartbeat_timeout_s,
+            "poison": list(self.poison),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RetryPolicy":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown retry-policy fields {sorted(unknown)}; "
+                f"one of {sorted(known)}")
+        kwargs = dict(data)
+        if "poison" in kwargs:
+            kwargs["poison"] = tuple(kwargs["poison"])
+        return cls(**kwargs)
+
+    def with_overrides(self, **overrides: Any) -> "RetryPolicy":
+        """A copy with any non-``None`` overrides applied (CLI flags
+        layered over a spec's stored policy)."""
+        applied = {name: value for name, value in overrides.items()
+                   if value is not None}
+        return replace(self, **applied) if applied else self

@@ -30,6 +30,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.dse.executor import CampaignRun, drive_points
 from repro.dse.records import RECORD_VERSION, make_record
+from repro.dse.retry import RetryPolicy
 from repro.dse.store import ResultStore
 from repro.eval.request import config_hash
 from repro.experiments import validation_sim_vs_model
@@ -193,14 +194,17 @@ def run_sim_campaign(
     jobs: int = 1,
     force: bool = False,
     progress: Any = None,
+    policy: RetryPolicy | None = None,
 ) -> "CampaignRun[SimPoint, dict[str, Any]]":
     """Run (or resume) a sim-validation campaign over a process pool.
 
     Shares the :func:`repro.dse.executor.drive_points` driver and the
     :class:`~repro.dse.executor.CampaignRun` result object with the
     evaluation grids: cached points are served from the store, pending
-    points fan out over ``jobs`` workers (``0`` = all CPUs), and the
-    parent process owns all store writes.
+    points fan out over ``jobs`` workers (``0`` = all CPUs), the parent
+    process owns all store writes, and ``policy`` governs retries,
+    per-point timeouts, and poison quarantine exactly as for
+    :func:`~repro.dse.executor.run_campaign`.
     """
     spec.validate()
     if store is None:
@@ -220,6 +224,7 @@ def run_sim_campaign(
         force=force,
         chunksize=1,
         progress=progress,
+        policy=policy,
     )
     return run
 

@@ -30,6 +30,7 @@ from repro.accelerators import (
 )
 from repro.accelerators.base import Accelerator
 from repro.arch import DEFAULT_ARCH, canonical_arch, parse_arch
+from repro.dse.retry import RetryPolicy
 from repro.eval.fingerprints import code_fingerprint  # noqa: F401  (re-export)
 from repro.eval.registry import backend_names, get_backend
 from repro.eval.request import MODEL_BACKEND, config_hash  # noqa: F401
@@ -221,7 +222,11 @@ class CampaignSpec:
     the grid with hardware design points (:mod:`repro.arch` preset
     spellings, e.g. ``"bitwave-16nm@sram_pj=0.5"``), enabling
     store-backed technology-sensitivity sweeps over both backends;
-    empty means the default arch.
+    empty means the default arch.  ``retry`` pins the campaign's
+    failure-handling policy (attempts, backoff, per-point timeout,
+    poison classification) so a spec JSON fully describes how the run
+    self-heals; ``None`` uses the executor's defaults, and CLI flags
+    layer on top either way.
     """
 
     name: str
@@ -230,6 +235,7 @@ class CampaignSpec:
     variants: tuple[str, ...] = ()
     backends: tuple[str, ...] = (MODEL_BACKEND,)
     archs: tuple[str, ...] = ()
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "accelerators", tuple(self.accelerators))
@@ -303,7 +309,7 @@ class CampaignSpec:
         return unique
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "version": SPEC_VERSION,
             "name": self.name,
             "accelerators": list(self.accelerators),
@@ -312,9 +318,15 @@ class CampaignSpec:
             "backends": list(self.backends),
             "archs": list(self.archs),
         }
+        if self.retry is not None:
+            # Absent unless set, so spec JSONs written before the
+            # retry field existed round-trip byte-identically.
+            data["retry"] = self.retry.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        retry = data.get("retry")
         return cls(
             name=data["name"],
             accelerators=tuple(data.get("accelerators", ())),
@@ -322,6 +334,7 @@ class CampaignSpec:
             variants=tuple(data.get("variants", ())),
             backends=tuple(data.get("backends", (MODEL_BACKEND,))),
             archs=tuple(data.get("archs", ())),
+            retry=RetryPolicy.from_dict(retry) if retry is not None else None,
         )
 
     def to_json(self, path: str | Path) -> None:

@@ -34,6 +34,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX fallback: no locking
     fcntl = None  # type: ignore[assignment]
 
+from repro import faults
 from repro.accelerators.base import NetworkEvaluation
 from repro.dse.records import (
     RECORD_VERSION,
@@ -42,13 +43,17 @@ from repro.dse.records import (
 )
 from repro.eval.fingerprints import code_fingerprint
 from repro.eval.result import EvalResult
-from repro.obs import observe, trace
+from repro.obs import counter, observe, trace
 
 #: Environment variable overriding the default store root.
 DEFAULT_ROOT_ENV = "REPRO_DSE_STORE"
 
 #: Per-namespace lockfile serializing cross-process mutations.
 LOCK_FILENAME = ".lock"
+
+#: Quarantine sidecars written by :meth:`ResultStore.compact` for lines
+#: that are not valid records (torn writes, foreign JSON).
+CORRUPT_PREFIX = "corrupt-"
 
 
 def default_store_root() -> Path:
@@ -59,19 +64,32 @@ def default_store_root() -> Path:
     return Path.home() / ".cache" / "repro-dse"
 
 
-def scan_jsonl(path: Path) -> tuple[dict[str, dict[str, Any]], int]:
+class ScanResult(NamedTuple):
+    """One pass over a ``results.jsonl``: records, bloat, and damage."""
+
+    #: Last-wins ``key -> record`` map.
+    records: dict[str, dict[str, Any]]
+    #: Raw non-blank line count (superseded duplicates and corrupt
+    #: lines included), so callers like the GC need not re-read the
+    #: file to measure bloat.
+    raw_lines: int
+    #: Lines that are not valid records -- torn writes from crashed
+    #: campaigns, foreign/non-dict JSON -- verbatim, for quarantine.
+    corrupt: tuple[str, ...]
+
+
+def scan_jsonl(path: Path) -> ScanResult:
     """One-pass parse of a ``results.jsonl``.
 
-    Returns the last-wins ``key -> record`` map plus the raw non-blank
-    line count (superseded duplicates and torn fragments included), so
-    callers like the GC need not re-read the file to measure bloat.
-    A torn trailing line (interrupted write) is skipped; a missing file
-    reads as empty.
+    A torn or otherwise corrupt line is skipped (and reported in
+    ``corrupt``), never fatal, so a crashed campaign resumes cleanly;
+    a missing file reads as empty.
     """
     records: dict[str, dict[str, Any]] = {}
     raw_lines = 0
+    corrupt: list[str] = []
     if not path.exists():
-        return records, raw_lines
+        return ScanResult(records, raw_lines, ())
     with path.open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -81,18 +99,20 @@ def scan_jsonl(path: Path) -> tuple[dict[str, dict[str, Any]], int]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn write from an interrupted campaign
+                corrupt.append(line)  # torn write from a crashed run
+                continue
             if not isinstance(record, dict):
-                continue  # valid JSON but not a record (foreign file)
+                corrupt.append(line)  # valid JSON, not a record
+                continue
             key = record.get("key")
             if key:
                 records[key] = record
-    return records, raw_lines
+    return ScanResult(records, raw_lines, tuple(corrupt))
 
 
 def load_jsonl_records(path: Path) -> dict[str, dict[str, Any]]:
     """The last-wins ``key -> record`` map of a ``results.jsonl``."""
-    return scan_jsonl(path)[0]
+    return scan_jsonl(path).records
 
 
 def encode_record(record: Mapping[str, Any]) -> bytes:
@@ -153,7 +173,13 @@ class ResultStore:
             return
         self._loaded = True
         with trace("store.load", namespace=self.namespace):
-            self._records.update(load_jsonl_records(self.path))
+            scan = scan_jsonl(self.path)
+            self._records.update(scan.records)
+            if scan.corrupt:
+                # Observable, not fatal: the summary/gc paths surface
+                # the count so torn lines don't rot silently.
+                counter("store.corrupt_lines", n=len(scan.corrupt),
+                        namespace=self.namespace)
 
     def refresh(self) -> None:
         """Re-read the backing file (e.g. after another process wrote)."""
@@ -214,16 +240,42 @@ class ResultStore:
         self._load()
         record = {**record, "key": key}
         data = encode_record(record)
+        if faults.enabled():
+            # Chaos-testing hook: a `slow_io` fault stalls here, a
+            # `torn_write` fault truncates the line mid-record exactly
+            # like a writer crashing inside write() -- the record stays
+            # in this process's memory but is lost on disk, so a resume
+            # must re-evaluate it and compact() must quarantine the
+            # fragment.
+            if faults.store_write_fault(key) == "torn_write":
+                data = data[:max(1, len(data) // 2)].rstrip(b"\n")
         with trace("store.put", namespace=self.namespace):
             with self._locked():
                 self._append([data])
         self._records[key] = record
+
+    def _quarantine(self, corrupt: tuple[str, ...]) -> None:
+        """Move non-record lines into a ``corrupt-<ts>.jsonl`` sidecar.
+
+        Called under the namespace lock (so the torn trailing line of
+        an *in-flight* append can never be quarantined -- writers hold
+        the same lock).  The fragments are preserved verbatim for
+        post-mortems instead of silently discarded by the rewrite.
+        """
+        sidecar = self.path.parent / f"{CORRUPT_PREFIX}{int(time.time())}.jsonl"
+        with sidecar.open("a", encoding="utf-8") as handle:
+            for line in corrupt:
+                handle.write(line + "\n")
+        counter("store.corrupt_lines", n=len(corrupt),
+                namespace=self.namespace, quarantined=True)
 
     def compact(self) -> CompactStats:
         """Rewrite the file without superseded duplicates.
 
         Runs under the namespace lock and re-reads the file inside it,
         so records appended by other processes survive the rewrite.
+        Corrupt lines (torn writes, foreign JSON) are quarantined to a
+        ``corrupt-<ts>.jsonl`` sidecar rather than silently dropped.
         When zero live records remain the stale file is unlinked (not
         left behind).  Returns the live-record count and the bytes
         reclaimed.
@@ -234,7 +286,12 @@ class ResultStore:
             self.refresh()
             return CompactStats(0, 0)
         with self._locked():
-            self.refresh()
+            scan = scan_jsonl(self.path)
+            self._records.clear()
+            self._records.update(scan.records)
+            self._loaded = True
+            if scan.corrupt:
+                self._quarantine(scan.corrupt)
             before = self.path.stat().st_size if self.path.exists() else 0
             if not self._records:
                 if self.path.exists():

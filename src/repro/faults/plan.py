@@ -1,0 +1,245 @@
+"""Deterministic fault plans: what to break, where, and when.
+
+A :class:`FaultPlan` is a parsed ``--inject`` / ``$REPRO_FAULTS`` spec:
+an ordered list of :class:`FaultClause` entries plus a few global
+knobs.  Every injection decision is a pure function of
+``(seed, kind, site, key, attempt, call)`` -- no process state, no
+wall clock -- so the same plan against the same campaign injects the
+same faults on every run, on every host, and CI can assert the exact
+retry/timeout counters an injected plan must produce.
+
+Spec grammar (clauses separated by commas)::
+
+    spec    := clause ("," clause)*
+    clause  := "seed=" INT | "hang_s=" FLOAT | "slow_s=" FLOAT
+             | kind [":" field]*
+    kind    := "crash" | "hang" | "slow_io" | "torn_write" | "die"
+    field   := FLOAT               (probability; default 1.0)
+             | "attempt<" INT      (fire only on attempts below N)
+             | "key=" PREFIX       (fire only on matching config-hash keys)
+             | "site=" SITE        (override the kind's default site)
+    SITE    := "eval" | "gemm" | "store"
+
+Examples::
+
+    crash:0.2:attempt<1          # 20% of points crash on their first try
+    hang:key=3fa:attempt<1       # one targeted point hangs once
+    slow_io:0.5,torn_write:0.3   # flaky disk: slow appends, torn lines
+    seed=7,crash:1:attempt<1     # every point crashes exactly once
+
+Clauses are evaluated in order; the first one that fires wins, so a
+targeted clause listed first takes precedence over a broad one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+#: Everything the framework knows how to break.
+FAULT_KINDS = ("crash", "hang", "slow_io", "torn_write", "die")
+
+#: Injection sites instrumented across the stack.
+FAULT_SITES = ("eval", "gemm", "store")
+
+#: Where each kind fires unless the clause names a site explicitly.
+DEFAULT_SITES = {
+    "crash": "eval",
+    "hang": "eval",
+    "die": "eval",
+    "slow_io": "store",
+    "torn_write": "store",
+}
+
+#: Sites a kind is allowed at (``torn_write`` only makes sense where
+#: bytes hit disk).
+ALLOWED_SITES = {
+    "crash": ("eval", "gemm"),
+    "hang": ("eval", "gemm"),
+    "die": ("eval", "gemm"),
+    "slow_io": ("eval", "gemm", "store"),
+    "torn_write": ("store",),
+}
+
+_ATTEMPT_RE = re.compile(r"^attempt<(\d+)$")
+_KEY_RE = re.compile(r"^key=([A-Za-z0-9_-]+)$")
+_SITE_RE = re.compile(r"^site=([a-z_]+)$")
+_GLOBAL_RE = re.compile(r"^(seed|hang_s|slow_s)=(.+)$")
+_PROB_RE = re.compile(r"^\d+(\.\d+)?$|^\.\d+$")
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One kind of injected fault, gated by site/key/attempt."""
+
+    kind: str
+    probability: float = 1.0
+    #: Fire only while ``attempt < max_attempt`` (``None`` = always).
+    #: ``attempt<1`` makes a fault strictly transient: the retry is
+    #: guaranteed clean, which is what bit-identical chaos tests want.
+    max_attempt: int | None = None
+    #: Fire only on config-hash keys starting with this prefix.
+    key_prefix: str | None = None
+    site: str = ""  # resolved to the kind's default by __post_init__
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"fault probability must be in [0, 1], got "
+                f"{self.probability}")
+        if not self.site:
+            object.__setattr__(self, "site", DEFAULT_SITES[self.kind])
+        if self.site not in ALLOWED_SITES[self.kind]:
+            raise ValueError(
+                f"fault {self.kind!r} cannot fire at site {self.site!r}; "
+                f"one of {ALLOWED_SITES[self.kind]}")
+
+    def matches(self, site: str, key: str, attempt: int) -> bool:
+        """Whether the gates (not the dice) allow firing here."""
+        if site != self.site:
+            return False
+        if self.max_attempt is not None and attempt >= self.max_attempt:
+            return False
+        if self.key_prefix is not None and not key.startswith(self.key_prefix):
+            return False
+        return True
+
+    def spec(self) -> str:
+        """Canonical spelling of this clause."""
+        parts = [self.kind, f"{self.probability:g}"]
+        if self.max_attempt is not None:
+            parts.append(f"attempt<{self.max_attempt}")
+        if self.key_prefix is not None:
+            parts.append(f"key={self.key_prefix}")
+        if self.site != DEFAULT_SITES[self.kind]:
+            parts.append(f"site={self.site}")
+        return ":".join(parts)
+
+
+def _parse_clause(text: str) -> FaultClause:
+    fields = text.split(":")
+    clause = FaultClause(kind=fields[0])
+    for field in fields[1:]:
+        if _PROB_RE.match(field):
+            clause = replace(clause, probability=float(field))
+            continue
+        match = _ATTEMPT_RE.match(field)
+        if match:
+            clause = replace(clause, max_attempt=int(match.group(1)))
+            continue
+        match = _KEY_RE.match(field)
+        if match:
+            clause = replace(clause, key_prefix=match.group(1))
+            continue
+        match = _SITE_RE.match(field)
+        if match:
+            site = match.group(1)
+            if site not in FAULT_SITES:
+                raise ValueError(
+                    f"unknown fault site {site!r}; one of {FAULT_SITES}")
+            clause = replace(clause, site=site)
+            continue
+        raise ValueError(
+            f"bad fault clause field {field!r} in {text!r} (expected a "
+            f"probability, 'attempt<N', 'key=PREFIX', or 'site=NAME')")
+    return clause
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault clauses plus global injection knobs."""
+
+    clauses: tuple[FaultClause, ...] = ()
+    #: Seeds every probabilistic decision; two runs of the same plan
+    #: over the same campaign inject identically.
+    seed: int = 0
+    #: How long a ``hang`` fault stalls (far past any sane deadline,
+    #: so only the watchdog ends it).
+    hang_s: float = 3600.0
+    #: How long a ``slow_io`` fault stalls one operation.
+    slow_s: float = 0.05
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse an ``--inject`` / ``$REPRO_FAULTS`` spec string."""
+        clauses: list[FaultClause] = []
+        seed, hang_s, slow_s = 0, 3600.0, 0.05
+        for raw in spec.split(","):
+            raw = raw.strip()
+            if not raw:
+                continue
+            match = _GLOBAL_RE.match(raw)
+            if match:
+                name, value = match.groups()
+                if name == "seed":
+                    seed = int(value)
+                elif name == "hang_s":
+                    hang_s = float(value)
+                else:
+                    slow_s = float(value)
+                continue
+            clauses.append(_parse_clause(raw))
+        if not clauses:
+            raise ValueError(
+                f"fault spec {spec!r} names no fault clauses "
+                f"(kinds: {FAULT_KINDS})")
+        return cls(clauses=tuple(clauses), seed=seed,
+                   hang_s=hang_s, slow_s=slow_s)
+
+    def spec(self) -> str:
+        """Canonical spec string (round-trips through :meth:`parse`);
+        how an activated plan propagates to worker processes."""
+        parts = [f"seed={self.seed}"]
+        if self.hang_s != 3600.0:
+            parts.append(f"hang_s={self.hang_s:g}")
+        if self.slow_s != 0.05:
+            parts.append(f"slow_s={self.slow_s:g}")
+        parts.extend(clause.spec() for clause in self.clauses)
+        return ",".join(parts)
+
+    def _roll(self, clause: FaultClause, site: str, key: str,
+              attempt: int, call: int) -> bool:
+        """The deterministic dice: uniform in [0, 1) from a digest."""
+        if clause.probability >= 1.0:
+            return True
+        if clause.probability <= 0.0:
+            return False
+        token = (f"{self.seed}|{clause.kind}|{site}|{key}|"
+                 f"{attempt}|{call}").encode("utf-8")
+        digest = hashlib.sha256(token).digest()
+        u = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return u < clause.probability
+
+    def decide(self, site: str, key: str, attempt: int,
+               call: int = 0) -> FaultClause | None:
+        """The fault (if any) to inject at this exact execution point.
+
+        ``call`` distinguishes repeated visits to one site within one
+        attempt (the Nth plane GEMM, the Nth store write of a key) so
+        each gets its own deterministic draw.  First matching clause
+        that passes its dice wins.
+        """
+        for clause in self.clauses:
+            if clause.matches(site, key, attempt) \
+                    and self._roll(clause, site, key, attempt, call):
+                return clause
+        return None
+
+    def planned(self, site: str, keys: list[str],
+                attempts: int = 1) -> Iterator[tuple[str, int, FaultClause]]:
+        """Enumerate first-call injections for a key list (test oracle).
+
+        Yields ``(key, attempt, clause)`` for every decision that fires
+        at ``call=0`` -- what a chaos test compares observed retry and
+        timeout counters against.
+        """
+        for key in keys:
+            for attempt in range(attempts):
+                clause = self.decide(site, key, attempt)
+                if clause is not None:
+                    yield key, attempt, clause

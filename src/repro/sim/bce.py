@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import faults
 from repro.core.signmag import MAGNITUDE_PLANES, PLANE_SIGNIFICANCE
 from repro.obs import trace
 from repro.sim.smm import smm_column_sum, smm_plane_gemm
@@ -144,7 +145,12 @@ class BitPlaneEngine:
             if not bits.any():
                 continue  # empty plane: no column anywhere streams it
             # One span per dispatched plane GEMM: both the dispatch
-            # count and where the datapath's wall-clock goes.
+            # count and where the datapath's wall-clock goes.  The
+            # fault hook lets chaos tests stall or kill a worker
+            # *mid*-evaluation -- deep inside the datapath, where a
+            # real OOM or freeze actually lands -- rather than only at
+            # the tidy evaluation boundary.
+            faults.fire("gemm")
             with trace("sim.plane_gemm", plane=int(plane)):
                 outputs += smm_plane_gemm(activations, bits, signs) \
                     << np.int64(PLANE_SIGNIFICANCE[plane])

@@ -1,0 +1,110 @@
+"""Retry-policy semantics: validation, failure classification,
+deterministic backoff, and spec round-tripping.
+
+The acceptance pin: two runs of the same campaign compute identical
+backoff schedules (jitter is drawn from the point key, not a clock or
+RNG), so chaos runs are reproducible end to end.
+"""
+
+import pytest
+
+from repro.dse.retry import POISON_TYPES, WORKER_FAILURE_KINDS, RetryPolicy
+from repro.dse.spec import CampaignSpec
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [
+        dict(max_attempts=0),
+        dict(timeout_s=0),
+        dict(timeout_s=-1.0),
+        dict(backoff_s=-0.1),
+        dict(backoff_factor=0.5),
+        dict(jitter=1.5),
+        dict(jitter=-0.1),
+        dict(heartbeat_timeout_s=0),
+    ])
+    def test_rejects_bad_fields(self, bad):
+        with pytest.raises(ValueError):
+            RetryPolicy(**bad)
+
+    def test_defaults_are_valid_and_watchdog_free(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert not policy.needs_watchdog()
+        assert RetryPolicy(timeout_s=30.0).needs_watchdog()
+
+
+class TestClassification:
+    @pytest.mark.parametrize("etype", POISON_TYPES)
+    def test_poison_types_never_retry(self, etype):
+        assert not RetryPolicy().is_retryable(etype)
+
+    @pytest.mark.parametrize("etype", ["OSError", "MemoryError",
+                                       "InjectedFault", "RuntimeError"])
+    def test_transient_types_retry(self, etype):
+        assert RetryPolicy().is_retryable(etype)
+
+    @pytest.mark.parametrize("kind", WORKER_FAILURE_KINDS)
+    def test_worker_failures_always_retry(self, kind):
+        # The process died, not necessarily the point's code: even an
+        # etype that would be poison as an exception gets retried.
+        assert RetryPolicy().is_retryable("ValueError", kind=kind)
+
+    def test_poison_list_is_configurable(self):
+        policy = RetryPolicy(poison=("RuntimeError",))
+        assert not policy.is_retryable("RuntimeError")
+        assert policy.is_retryable("ValueError")
+
+
+class TestBackoff:
+    def test_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy()
+        assert policy.backoff_for("abcd", 1) == policy.backoff_for("abcd", 1)
+        assert policy.backoff_for("abcd", 1) != policy.backoff_for("dcba", 1)
+
+    def test_exponential_growth_within_jitter_bounds(self):
+        policy = RetryPolicy(backoff_s=0.1, backoff_factor=2.0, jitter=0.1)
+        for attempt in range(4):
+            base = 0.1 * 2.0 ** attempt
+            wait = policy.backoff_for("abcd", attempt)
+            assert base * 0.9 <= wait <= base * 1.1
+
+    def test_clamped_at_max_backoff(self):
+        policy = RetryPolicy(backoff_s=1.0, backoff_factor=10.0,
+                             max_backoff_s=5.0, jitter=0.0)
+        assert policy.backoff_for("abcd", 6) == 5.0
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(backoff_s=0.25, backoff_factor=2.0, jitter=0.0)
+        assert policy.backoff_for("abcd", 2) == 1.0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        policy = RetryPolicy(max_attempts=5, timeout_s=120.0,
+                             backoff_s=0.5, poison=("RuntimeError",))
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown retry-policy"):
+            RetryPolicy.from_dict({"max_attempts": 2, "retires": 9})
+
+    def test_with_overrides_skips_none(self):
+        base = RetryPolicy(max_attempts=5, timeout_s=60.0)
+        same = base.with_overrides(max_attempts=None, timeout_s=None)
+        assert same == base
+        bumped = base.with_overrides(max_attempts=7, timeout_s=None)
+        assert (bumped.max_attempts, bumped.timeout_s) == (7, 60.0)
+
+    def test_rides_on_campaign_spec(self):
+        spec = CampaignSpec(
+            name="chaos", accelerators=("SCNN",), networks=("cnn_lstm",),
+            retry=RetryPolicy(max_attempts=4, timeout_s=90.0))
+        restored = CampaignSpec.from_dict(spec.to_dict())
+        assert restored.retry == spec.retry
+        # Specs without a policy stay policy-free (and their dict form
+        # stays byte-identical to the pre-retry era).
+        bare = CampaignSpec(name="bare", accelerators=("SCNN",),
+                            networks=("cnn_lstm",))
+        assert bare.retry is None
+        assert "retry" not in bare.to_dict()

@@ -1,0 +1,206 @@
+"""The fault-injection framework: spec grammar, deterministic dice,
+and the runtime hooks.
+
+The acceptance pins: (1) a spec string round-trips through its
+canonical spelling, so the plan a worker process reconstructs from
+``$REPRO_FAULTS`` is the plan the parent activated; (2) every
+injection decision is a pure function of ``(seed, kind, site, key,
+attempt, call)`` -- the ``planned()`` oracle enumerates exactly what a
+chaos run will inject.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    FAULTS_ENV,
+    FaultClause,
+    FaultPlan,
+    InjectedFault,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    """Every test leaves injection disabled and the env unexported."""
+    yield
+    faults.configure(None)
+    faults.clear_point_context()
+
+
+class TestClauseParsing:
+    @pytest.mark.parametrize("kind", ["crash", "hang", "slow_io",
+                                      "torn_write", "die"])
+    def test_bare_kind_gets_defaults(self, kind):
+        plan = FaultPlan.parse(kind)
+        (clause,) = plan.clauses
+        assert clause.kind == kind
+        assert clause.probability == 1.0
+        assert clause.max_attempt is None
+        assert clause.key_prefix is None
+
+    def test_full_clause(self):
+        plan = FaultPlan.parse("crash:0.25:attempt<2:key=3fa:site=gemm")
+        (clause,) = plan.clauses
+        assert clause == FaultClause("crash", probability=0.25,
+                                     max_attempt=2, key_prefix="3fa",
+                                     site="gemm")
+
+    def test_default_sites_per_kind(self):
+        assert FaultPlan.parse("crash").clauses[0].site == "eval"
+        assert FaultPlan.parse("hang").clauses[0].site == "eval"
+        assert FaultPlan.parse("die").clauses[0].site == "eval"
+        assert FaultPlan.parse("slow_io").clauses[0].site == "store"
+        assert FaultPlan.parse("torn_write").clauses[0].site == "store"
+
+    def test_globals(self):
+        plan = FaultPlan.parse("seed=42,hang_s=9.5,slow_s=0.2,crash:0.5")
+        assert (plan.seed, plan.hang_s, plan.slow_s) == (42, 9.5, 0.2)
+
+    def test_clause_order_preserved(self):
+        plan = FaultPlan.parse("hang:key=aa,crash:0.5")
+        assert [c.kind for c in plan.clauses] == ["hang", "crash"]
+
+    @pytest.mark.parametrize("bad", [
+        "fry",                      # unknown kind
+        "crash:1.5",                # probability out of range
+        "crash:site=disk",          # unknown site
+        "torn_write:site=eval",     # kind not allowed at site
+        "crash:when=later",         # unknown field
+        "seed=7",                   # no clauses at all
+        "",                         # empty spec
+    ])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+    def test_canonical_spec_round_trips(self):
+        spec = "seed=9,hang_s=12,crash:0.3:attempt<1,hang:key=ab:site=gemm"
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(plan.spec()) == plan
+
+    def test_default_globals_omitted_from_spec(self):
+        assert FaultPlan.parse("crash").spec() == "seed=0,crash:1"
+
+
+class TestDecisions:
+    def test_gates(self):
+        clause = FaultClause("crash", max_attempt=1, key_prefix="ab")
+        assert clause.matches("eval", "abcd", 0)
+        assert not clause.matches("gemm", "abcd", 0)     # wrong site
+        assert not clause.matches("eval", "abcd", 1)     # attempt spent
+        assert not clause.matches("eval", "ba", 0)       # key mismatch
+
+    def test_certain_and_impossible_probabilities(self):
+        always = FaultPlan.parse("crash:1")
+        never = FaultPlan.parse("crash:0")
+        for key in ("a", "b", "c"):
+            assert always.decide("eval", key, 0) is not None
+            assert never.decide("eval", key, 0) is None
+
+    def test_decisions_are_deterministic(self):
+        plan = FaultPlan.parse("seed=7,crash:0.5")
+        keys = [f"key{i:02d}" for i in range(64)]
+        first = [plan.decide("eval", k, 0) is not None for k in keys]
+        second = [plan.decide("eval", k, 0) is not None for k in keys]
+        assert first == second
+        # The dice are fair-ish: p=0.5 over 64 keys fires somewhere
+        # strictly between never and always.
+        assert 0 < sum(first) < len(keys)
+
+    def test_seed_changes_the_draw(self):
+        keys = [f"key{i:02d}" for i in range(64)]
+        a = [FaultPlan.parse("seed=1,crash:0.5").decide("eval", k, 0)
+             is not None for k in keys]
+        b = [FaultPlan.parse("seed=2,crash:0.5").decide("eval", k, 0)
+             is not None for k in keys]
+        assert a != b
+
+    def test_attempt_and_call_are_independent_draws(self):
+        plan = FaultPlan.parse("seed=7,crash:0.5")
+        keys = [f"key{i:02d}" for i in range(64)]
+        by_attempt = {a: [plan.decide("eval", k, a) is not None
+                          for k in keys] for a in (0, 1)}
+        by_call = {c: [plan.decide("eval", k, 0, call=c) is not None
+                       for k in keys] for c in (0, 1)}
+        assert by_attempt[0] != by_attempt[1]
+        assert by_call[0] != by_call[1]
+
+    def test_first_matching_clause_wins(self):
+        plan = FaultPlan.parse("hang:key=ab,crash:1")
+        assert plan.decide("eval", "abcd", 0).kind == "hang"
+        assert plan.decide("eval", "zzzz", 0).kind == "crash"
+
+    def test_planned_oracle_matches_decide(self):
+        plan = FaultPlan.parse("seed=7,crash:0.4:attempt<2")
+        keys = [f"key{i:02d}" for i in range(32)]
+        planned = set()
+        for key, attempt, clause in plan.planned("eval", keys, attempts=2):
+            assert clause.kind == "crash"
+            planned.add((key, attempt))
+        decided = {(k, a) for k in keys for a in range(2)
+                   if plan.decide("eval", k, a) is not None}
+        assert planned == decided
+
+
+class TestHooks:
+    def test_configure_exports_and_clears_env(self):
+        plan = faults.configure("seed=3,crash:0.5")
+        assert faults.enabled()
+        assert os.environ[FAULTS_ENV] == plan.spec()
+        assert FaultPlan.parse(os.environ[FAULTS_ENV]) == plan
+        faults.configure(None)
+        assert not faults.enabled()
+        assert FAULTS_ENV not in os.environ
+
+    def test_fire_is_inert_without_a_plan(self):
+        faults.fire("eval", key="abcd", attempt=0)  # must not raise
+
+    def test_crash_raises_injected_fault(self):
+        faults.configure("crash")
+        with pytest.raises(InjectedFault, match="injected crash at eval"):
+            faults.fire("eval", key="abcd", attempt=0)
+
+    def test_hang_and_die_degrade_to_crash_inline(self):
+        # The test runner is not a pool worker: a real hang would stall
+        # pytest forever and a real die would kill it. Both convert.
+        faults.configure("hang")
+        with pytest.raises(InjectedFault, match="converted to crash"):
+            faults.fire("eval", key="abcd", attempt=0)
+        faults.configure("die")
+        with pytest.raises(InjectedFault, match="converted to crash"):
+            faults.fire("eval", key="abcd", attempt=0)
+
+    def test_slow_io_sleeps_for_slow_s(self):
+        faults.configure("slow_s=0.05,slow_io:site=eval")
+        start = time.perf_counter()
+        faults.fire("eval", key="abcd", attempt=0)
+        assert time.perf_counter() - start >= 0.05
+
+    def test_deep_site_uses_point_context(self):
+        faults.configure("crash:key=ab:site=gemm")
+        faults.fire("gemm")  # no context bound: no-op
+        faults.set_point_context("abcd", 0)
+        with pytest.raises(InjectedFault):
+            faults.fire("gemm")
+        faults.clear_point_context()
+        faults.fire("gemm")  # unbound again: no-op
+
+    def test_store_write_fault_reports_torn_write(self):
+        faults.configure("torn_write:key=ab")
+        assert faults.store_write_fault("abcd") == "torn_write"
+        assert faults.store_write_fault("zzzz") is None
+
+    def test_store_write_ordinal_rerolls_per_append(self):
+        # attempt<1 gates on the per-key *write ordinal* at the store
+        # site, so only a key's first append is torn -- the re-append
+        # after the resume re-evaluation lands intact.
+        faults.configure("torn_write:key=ab:attempt<1")
+        plan = faults.active_plan()
+        assert plan.decide("store", "abcd", 0, call=0) is not None
+        first = faults.store_write_fault("abcd")
+        second = faults.store_write_fault("abcd")
+        assert (first, second) == ("torn_write", None)
