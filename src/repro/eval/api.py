@@ -9,6 +9,19 @@ The store layout is the :class:`repro.dse.store.ResultStore` JSONL
 machinery; each backend gets its own namespace from its source
 fingerprint, so editing the analytical model invalidates model-backed
 results while simulator-backed results (and vice versa) stay warm.
+
+**Concurrency.** This module is written for one sequential caller per
+process.  The memo and store-handle dicts are mutated without locks,
+and -- the sharper edge -- concurrent :func:`evaluate` calls for the
+same not-yet-cached request each run the full backend computation and
+each append a store record (last write wins; correct but wasteful,
+and profiling-heavy backends make it *very* wasteful).  Python threads
+and asyncio tasks both hit this: the memo check and the memo fill are
+separated by the entire evaluation, so every concurrent caller misses.
+Do not bolt a lock on here; route concurrent callers through
+:class:`repro.serve.EvalService`, whose single-flight layer coalesces
+identical in-flight requests onto one evaluation and owns all store
+writes.
 """
 
 from __future__ import annotations
@@ -60,7 +73,9 @@ def memoize(request: EvalRequest, result: EvalResult) -> EvalResult:
 
     The one place that knows the memo's key layout; used by
     :func:`evaluate` and by bulk producers (campaign prewarm) handing
-    their results to later single-request calls.
+    their results to later single-request calls.  Single-caller only,
+    like the rest of this module -- the serving path keeps its own
+    coalescing layer and never touches this memo.
     """
     _MEMO[(request.backend, request.key())] = result
     return result
@@ -77,6 +92,13 @@ def evaluate(request: EvalRequest,
     keyed by ``request.key()``); explicit-store calls bypass the
     per-process memo so the given store is really consulted.  ``force``
     bypasses memo and store reads; the fresh result is still persisted.
+
+    Not safe for concurrent callers (threads or asyncio tasks): the
+    memo is checked and filled without locks on either side of the
+    whole computation, so identical concurrent requests all miss and
+    all recompute.  Concurrent use goes through
+    :class:`repro.serve.EvalService`, which coalesces in-flight
+    duplicates (see the module docstring).
     """
     from repro.dse.records import make_record
 

@@ -12,7 +12,9 @@ heartbeat-silent), ``slow_io`` (stall one operation), ``torn_write``
 (tear a store append mid-line), ``die`` (kill the worker process,
 OOM-style).  Sites: ``eval`` (the worker evaluation entry), ``gemm``
 (inside the simulator's per-plane GEMM loop), ``store`` (the
-:class:`~repro.dse.store.ResultStore` append boundary).
+:class:`~repro.dse.store.ResultStore` append boundary), and ``serve``
+(the evaluation service's request path: ``slow_io`` stalls its store
+reads, the process-breaking kinds fire inside its worker pool).
 
 Enable with ``--inject SPEC`` on ``python -m repro.dse run|sim`` or by
 exporting ``REPRO_FAULTS=SPEC`` (inherited by pool workers).  Disabled
@@ -29,6 +31,7 @@ from repro.faults.hooks import (
     enabled,
     fire,
     hang_active,
+    serve_read_fault,
     set_point_context,
     store_write_fault,
 )
@@ -55,6 +58,7 @@ __all__ = [
     "enabled",
     "fire",
     "hang_active",
+    "serve_read_fault",
     "set_point_context",
     "store_write_fault",
 ]

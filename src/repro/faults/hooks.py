@@ -59,6 +59,11 @@ _SITE_CALLS: dict[str, int] = {}
 #: key is its own decision, so a retried point's re-append re-rolls.
 _WRITE_CALLS: dict[str, int] = {}
 
+#: Per-key serve-side store-read ordinals (process lifetime): like
+#: store writes, the Nth read of a key is its own decision, so
+#: ``slow_io:attempt<1:site=serve`` stalls only a key's first lookup.
+_READ_CALLS: dict[str, int] = {}
+
 #: Set while a ``hang`` fault is stalling this process; the worker
 #: heartbeat thread goes silent while it is set.
 _HANGING = threading.Event()
@@ -73,6 +78,7 @@ def configure(plan: FaultPlan | str | None) -> FaultPlan | None:
     """
     global _PLAN
     _WRITE_CALLS.clear()  # a fresh plan starts with fresh ordinals
+    _READ_CALLS.clear()
     if plan is None:
         _PLAN = None
         os.environ.pop(FAULTS_ENV, None)
@@ -151,12 +157,15 @@ def _execute(clause: FaultClause, site: str, plan: FaultPlan) -> None:
 
 
 def fire(site: str, key: str | None = None,
-         attempt: int | None = None) -> None:
+         attempt: int | None = None,
+         kinds: tuple[str, ...] | None = None) -> None:
     """Inject whatever the plan schedules at this execution point.
 
     ``key``/``attempt`` default to the bound point context; with no
     plan, or no context at a deep site, this is a no-op costing one
-    global read.  May raise :class:`InjectedFault`, sleep, or kill the
+    global read.  ``kinds`` restricts which fault kinds this hook will
+    execute (sites with several physical hooks split the kinds between
+    them).  May raise :class:`InjectedFault`, sleep, or kill the
     process -- exactly what real infrastructure does.
     """
     plan = _PLAN
@@ -168,7 +177,7 @@ def fire(site: str, key: str | None = None,
         key, attempt = _CONTEXT
     call = _SITE_CALLS.get(site, 0)
     _SITE_CALLS[site] = call + 1
-    clause = plan.decide(site, key, attempt, call)
+    clause = plan.decide(site, key, attempt, call, kinds=kinds)
     if clause is not None:
         _execute(clause, site, plan)
 
@@ -201,6 +210,30 @@ def store_write_fault(key: str) -> str | None:
         return "torn_write"
     _execute(clause, "store", plan)
     return None
+
+
+def serve_read_fault(key: str) -> str | None:
+    """The ``serve``-site decision for one service store read.
+
+    Only ``slow_io`` clauses apply here (a flaky disk under the result
+    store); the process-breaking kinds at ``site=serve`` belong to the
+    worker-pool hook (:func:`fire` inside the service worker), so a
+    ``crash:site=serve`` plan breaks evaluations -- which the service
+    retries -- rather than the read path of every request.  As at the
+    store-write site, the per-key read ordinal stands in for the
+    attempt.  Returns the fired kind (so the service can surface the
+    stall in its own ``/metrics`` counters), or ``None``.
+    """
+    plan = _PLAN
+    if plan is None:
+        return None
+    call = _READ_CALLS.get(key, 0)
+    _READ_CALLS[key] = call + 1
+    clause = plan.decide("serve", key, call, call, kinds=("slow_io",))
+    if clause is None:
+        return None
+    _execute(clause, "serve", plan)
+    return clause.kind
 
 
 def _init_from_env() -> None:

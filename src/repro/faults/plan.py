@@ -41,8 +41,11 @@ from typing import Iterator
 #: Everything the framework knows how to break.
 FAULT_KINDS = ("crash", "hang", "slow_io", "torn_write", "die")
 
-#: Injection sites instrumented across the stack.
-FAULT_SITES = ("eval", "gemm", "store")
+#: Injection sites instrumented across the stack.  ``serve`` is the
+#: evaluation service's request path (:mod:`repro.serve`): ``slow_io``
+#: clauses stall its store reads, process-breaking kinds fire inside
+#: its worker pool.
+FAULT_SITES = ("eval", "gemm", "store", "serve")
 
 #: Where each kind fires unless the clause names a site explicitly.
 DEFAULT_SITES = {
@@ -56,10 +59,10 @@ DEFAULT_SITES = {
 #: Sites a kind is allowed at (``torn_write`` only makes sense where
 #: bytes hit disk).
 ALLOWED_SITES = {
-    "crash": ("eval", "gemm"),
-    "hang": ("eval", "gemm"),
-    "die": ("eval", "gemm"),
-    "slow_io": ("eval", "gemm", "store"),
+    "crash": ("eval", "gemm", "serve"),
+    "hang": ("eval", "gemm", "serve"),
+    "die": ("eval", "gemm", "serve"),
+    "slow_io": ("eval", "gemm", "store", "serve"),
     "torn_write": ("store",),
 }
 
@@ -216,30 +219,40 @@ class FaultPlan:
         return u < clause.probability
 
     def decide(self, site: str, key: str, attempt: int,
-               call: int = 0) -> FaultClause | None:
+               call: int = 0,
+               kinds: "tuple[str, ...] | None" = None) -> FaultClause | None:
         """The fault (if any) to inject at this exact execution point.
 
         ``call`` distinguishes repeated visits to one site within one
         attempt (the Nth plane GEMM, the Nth store write of a key) so
-        each gets its own deterministic draw.  First matching clause
-        that passes its dice wins.
+        each gets its own deterministic draw.  ``kinds`` restricts the
+        decision to a subset of fault kinds -- the ``serve`` site hosts
+        two physically distinct hooks (store reads see only ``slow_io``,
+        the worker pool sees the process-breaking kinds), and each hook
+        must skip the other's clauses rather than misfire them.  First
+        matching clause that passes its dice wins.
         """
         for clause in self.clauses:
+            if kinds is not None and clause.kind not in kinds:
+                continue
             if clause.matches(site, key, attempt) \
                     and self._roll(clause, site, key, attempt, call):
                 return clause
         return None
 
     def planned(self, site: str, keys: list[str],
-                attempts: int = 1) -> Iterator[tuple[str, int, FaultClause]]:
+                attempts: int = 1,
+                kinds: "tuple[str, ...] | None" = None,
+                ) -> Iterator[tuple[str, int, FaultClause]]:
         """Enumerate first-call injections for a key list (test oracle).
 
         Yields ``(key, attempt, clause)`` for every decision that fires
         at ``call=0`` -- what a chaos test compares observed retry and
-        timeout counters against.
+        timeout counters against.  ``kinds`` mirrors :meth:`decide`'s
+        filter so the oracle can model one hook of a shared site.
         """
         for key in keys:
             for attempt in range(attempts):
-                clause = self.decide(site, key, attempt)
+                clause = self.decide(site, key, attempt, kinds=kinds)
                 if clause is not None:
                     yield key, attempt, clause

@@ -1,0 +1,69 @@
+"""The in-memory hot tier fronting the persistent result stores.
+
+A plain LRU over deserialized :class:`~repro.eval.result.EvalResult`
+objects, keyed by the request's config hash.  The service consults it
+before touching the fcntl-locked on-disk store, so a popular request
+costs a dict lookup instead of a file scan + deserialization.
+
+Thread-safe: the service reads it from the event loop and fills it
+from the batch-execution thread, so every operation holds one lock.
+``max_entries=0`` disables the tier entirely (every request goes to
+the store), which is also how the tests pin the store-hit path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.eval.result import EvalResult
+
+#: Default capacity of the hot tier, in results.
+DEFAULT_HOT_MAX = 1024
+
+
+class HotCache:
+    """A bounded LRU of evaluation results, keyed by config hash."""
+
+    def __init__(self, max_entries: int = DEFAULT_HOT_MAX) -> None:
+        if max_entries < 0:
+            raise ValueError(
+                f"hot-cache max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, EvalResult]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> EvalResult | None:
+        """The cached result for ``key`` (refreshing its recency)."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+            return result
+
+    def put(self, key: str, result: EvalResult) -> None:
+        """Install ``key``'s result, evicting the coldest past capacity."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> tuple[str, ...]:
+        """Current keys, coldest first (a snapshot, for introspection)."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,102 @@
+"""The static HTML dashboard served at ``/`` and ``/dashboard``.
+
+One self-contained page (no external assets, no build step) that polls
+the service's own JSON endpoints -- ``/healthz``, ``/metrics``,
+``/summary``, ``/pareto`` -- and renders them as tables.  It is a
+window onto the JSON API, not a separate data path: everything shown
+here is exactly one ``curl`` away.
+"""
+
+from __future__ import annotations
+
+DASHBOARD_HTML = """\
+<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro.serve dashboard</title>
+<style>
+  body { font-family: ui-monospace, Menlo, Consolas, monospace;
+         margin: 2rem; background: #101418; color: #d8dee6; }
+  h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.6rem; }
+  table { border-collapse: collapse; margin-top: .5rem; }
+  th, td { border: 1px solid #2c3440; padding: .25rem .6rem;
+           text-align: left; font-size: .85rem; }
+  th { background: #1a2028; }
+  td.num { text-align: right; font-variant-numeric: tabular-nums; }
+  #status { padding: .2rem .6rem; border-radius: .3rem; }
+  #status.ok { background: #1e4620; } #status.bad { background: #5a1e1e; }
+  .muted { color: #7a8494; font-size: .8rem; }
+</style>
+</head>
+<body>
+<h1>repro.serve
+  <span id="status" class="ok">...</span>
+  <span class="muted" id="uptime"></span></h1>
+<p class="muted">Always-on evaluation service: hot cache &rarr;
+coalescing &rarr; store &rarr; workers.  Auto-refreshes every 2s from
+<code>/healthz</code> and <code>/metrics</code>; grid tables load from
+<code>/summary</code> and <code>/pareto</code> on demand.</p>
+
+<h2>Counters</h2><table id="counters"></table>
+<h2>Gauges</h2><table id="gauges"></table>
+<h2>Latency (recent window)</h2><table id="latency"></table>
+
+<h2>Campaign summary
+  <button onclick="loadSummary()">load /summary</button></h2>
+<table id="summary"></table>
+<h2>Pareto frontier (cycles vs energy)
+  <button onclick="loadPareto()">load /pareto</button></h2>
+<table id="pareto"></table>
+
+<script>
+function fill(id, rows, headers) {
+  const table = document.getElementById(id);
+  if (!rows.length) { table.innerHTML = "<tr><td>(empty)</td></tr>"; return; }
+  const cols = headers || Object.keys(rows[0]);
+  let html = "<tr>" + cols.map(c => `<th>${c}</th>`).join("") + "</tr>";
+  for (const row of rows) {
+    html += "<tr>" + cols.map(c => {
+      const v = row[c];
+      const num = typeof v === "number";
+      const text = num ? (Number.isInteger(v) ? v : v.toPrecision(5)) : v;
+      return `<td class="${num ? "num" : ""}">${text}</td>`;
+    }).join("") + "</tr>";
+  }
+  table.innerHTML = html;
+}
+function pairs(obj) {
+  return Object.entries(obj).map(([name, value]) => ({name, value}));
+}
+async function refresh() {
+  try {
+    const health = await (await fetch("/healthz")).json();
+    const status = document.getElementById("status");
+    status.textContent = health.status;
+    status.className = health.status === "ok" ? "ok" : "bad";
+    document.getElementById("uptime").textContent =
+      `up ${health.uptime_s.toFixed(0)}s | in-flight ${health.in_flight}` +
+      ` | queue ${health.queue_depth}`;
+    const metrics = await (await fetch("/metrics")).json();
+    fill("counters", pairs(metrics.counters), ["name", "value"]);
+    fill("gauges", pairs(metrics.gauges), ["name", "value"]);
+    fill("latency", pairs(metrics.latency), ["name", "value"]);
+  } catch (err) {
+    const status = document.getElementById("status");
+    status.textContent = "unreachable"; status.className = "bad";
+  }
+}
+async function loadSummary() {
+  const data = await (await fetch("/summary")).json();
+  fill("summary", data.rows);
+}
+async function loadPareto() {
+  const data = await (await fetch("/pareto")).json();
+  fill("pareto", data.rows);
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"""

@@ -1,0 +1,370 @@
+"""A hand-rolled asyncio HTTP/1.1 front end for the evaluation service.
+
+Stdlib-only by design (``asyncio.start_server`` + manual request
+parsing): the service must run anywhere the reproduction runs.  One
+request per connection (``Connection: close``), JSON in and out.
+
+Endpoints::
+
+    GET  /eval?workload=W[&accelerator=A][&variant=V][&backend=B]
+              [&arch=SPEC][&batch=N][&sim_max_contexts=N]
+    POST /eval/batch        {"requests": [<EvalRequest dict>, ...]}
+    GET  /summary?[name=&accelerators=&networks=&variants=&backends=&archs=]
+    GET  /pareto?[x=cycles&y=energy&<grid params>]
+    GET  /healthz
+    GET  /metrics
+    GET  /  (or /dashboard)  -- the static HTML dashboard
+
+Status codes: 200 answered, 400 bad request, 404 unknown path,
+405 wrong method, 413 oversized body, 422 poison evaluation (the
+request is deterministic-broken; retrying cannot help), 500 evaluation
+failed after the retry budget, 503 queue saturated or draining.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Mapping
+from urllib.parse import parse_qs, urlsplit
+
+from repro.dse.spec import CampaignSpec, paper_grid
+from repro.dse.store import ResultStore
+from repro.dse.summary import METRICS, pareto_data, summary_data
+from repro.eval.request import EvalOptions, EvalRequest
+from repro.serve.dashboard import DASHBOARD_HTML
+from repro.serve.service import EvalService, Outcome
+
+#: Hard parse limits: a service facing a network owes itself bounds.
+MAX_REQUEST_LINE = 8192
+MAX_HEADERS = 64
+MAX_BODY_BYTES = 1 << 22  # 4 MiB of batch JSON is plenty
+READ_TIMEOUT_S = 30.0
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 422: "Unprocessable Entity",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """An error with a definite HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def outcome_status(outcome: Outcome) -> int:
+    """The HTTP status an evaluation outcome maps to."""
+    if outcome.ok:
+        return 200
+    if outcome.kind in ("rejected", "draining"):
+        return 503
+    if outcome.poisoned:
+        return 422
+    return 500
+
+
+def outcome_payload(outcome: Outcome) -> dict[str, Any]:
+    """The JSON body for one settled evaluation outcome."""
+    payload: dict[str, Any] = {
+        "key": outcome.key,
+        "source": outcome.source,
+        "attempts": outcome.attempts,
+    }
+    if outcome.ok:
+        assert outcome.result is not None
+        payload["result"] = outcome.result.to_dict()
+    else:
+        payload.update({
+            "error": outcome.error,
+            "etype": outcome.etype,
+            "kind": outcome.kind,
+            "poisoned": outcome.poisoned,
+            "last_error": outcome.error,
+        })
+    return payload
+
+
+def _first(query: Mapping[str, list[str]], name: str,
+           default: str | None = None) -> str | None:
+    values = query.get(name)
+    return values[0] if values else default
+
+
+def _int_param(query: Mapping[str, list[str]], name: str,
+               default: int) -> int:
+    raw = _first(query, name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise HttpError(400, f"query parameter {name!r} must be an "
+                             f"integer, got {raw!r}") from None
+
+
+def request_from_query(query: Mapping[str, list[str]]) -> EvalRequest:
+    """Build an :class:`EvalRequest` from ``/eval`` query parameters."""
+    workload = _first(query, "workload")
+    if not workload:
+        raise HttpError(400, "missing required query parameter 'workload'")
+    defaults = EvalOptions()
+    kwargs: dict[str, Any] = {
+        "workload": workload,
+        "options": EvalOptions(
+            batch=_int_param(query, "batch", defaults.batch),
+            sim_max_contexts=_int_param(query, "sim_max_contexts",
+                                        defaults.sim_max_contexts)),
+    }
+    for name in ("accelerator", "variant", "backend", "arch"):
+        value = _first(query, name)
+        if value is not None:
+            kwargs[name] = value
+    return EvalRequest(**kwargs)
+
+
+def request_from_dict(data: Any) -> EvalRequest:
+    """Build an :class:`EvalRequest` from one ``/eval/batch`` entry."""
+    if not isinstance(data, Mapping):
+        raise HttpError(400, f"batch entries must be objects, got "
+                             f"{type(data).__name__}")
+    if "workload" not in data:
+        raise HttpError(400, "batch entry missing required key 'workload'")
+    try:
+        return EvalRequest.from_dict(data)
+    except (TypeError, ValueError) as exc:
+        raise HttpError(400, f"bad batch entry: {exc}") from None
+
+
+def spec_from_query(query: Mapping[str, list[str]]) -> CampaignSpec:
+    """The campaign grid a ``/summary`` / ``/pareto`` call reports over.
+
+    Axes arrive as CSV query parameters mirroring the ``repro.dse``
+    CLI; with no axes at all, the full paper grid is the default view.
+    """
+    def csv(name: str) -> tuple[str, ...]:
+        raw = _first(query, name, "")
+        assert raw is not None
+        return tuple(part for part in raw.split(",") if part)
+
+    name = _first(query, "name", "serve") or "serve"
+    axes = {axis: csv(axis) for axis in
+            ("accelerators", "networks", "variants", "backends", "archs")}
+    if not any(axes.values()):
+        return paper_grid(name)
+    spec = CampaignSpec(
+        name=name,
+        accelerators=axes["accelerators"],
+        networks=axes["networks"],
+        variants=axes["variants"],
+        backends=axes["backends"] or ("model",),
+        archs=axes["archs"],
+    )
+    spec.validate()
+    return spec
+
+
+class HttpFrontend:
+    """Routes parsed HTTP requests onto one :class:`EvalService`."""
+
+    def __init__(self, service: EvalService) -> None:
+        self.service = service
+
+    # -- endpoint handlers ----------------------------------------------
+    async def _eval(self, query: Mapping[str, list[str]]
+                    ) -> tuple[int, Any]:
+        try:
+            request = request_from_query(query)
+            outcome = await self.service.submit(request)
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        return outcome_status(outcome), outcome_payload(outcome)
+
+    async def _eval_batch(self, body: bytes) -> tuple[int, Any]:
+        try:
+            data = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"bad JSON body: {exc}") from None
+        entries = data.get("requests") if isinstance(data, Mapping) else data
+        if not isinstance(entries, list) or not entries:
+            raise HttpError(400, "body must be a non-empty JSON list (or "
+                                 "{'requests': [...]}) of request objects")
+        requests = [request_from_dict(entry) for entry in entries]
+
+        async def one(request: EvalRequest) -> dict[str, Any]:
+            try:
+                outcome = await self.service.submit(request)
+            except ValueError as exc:
+                return {"ok": False, "status": 400, "error": str(exc)}
+            payload = outcome_payload(outcome)
+            payload.update({"ok": outcome.ok,
+                            "status": outcome_status(outcome)})
+            return payload
+
+        results = await asyncio.gather(*(one(r) for r in requests))
+        return 200, {"count": len(results), "results": list(results)}
+
+    def _base_store(self) -> ResultStore:
+        return ResultStore(self.service.store_root)
+
+    async def _summary(self, query: Mapping[str, list[str]]
+                       ) -> tuple[int, Any]:
+        try:
+            spec = spec_from_query(query)
+            rows = await asyncio.to_thread(
+                summary_data, spec, self._base_store())
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        return 200, {"campaign": spec.name, "points": len(rows),
+                     "rows": rows}
+
+    async def _pareto(self, query: Mapping[str, list[str]]
+                      ) -> tuple[int, Any]:
+        x = _first(query, "x", "cycles") or "cycles"
+        y = _first(query, "y", "energy") or "energy"
+        if x not in METRICS or y not in METRICS:
+            raise HttpError(400, f"pareto objectives must be one of "
+                                 f"{sorted(METRICS)}; got x={x!r} y={y!r}")
+        try:
+            spec = spec_from_query(query)
+            rows = await asyncio.to_thread(
+                pareto_data, spec, self._base_store(), x, y)
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        return 200, {"campaign": spec.name, "x": x, "y": y,
+                     "points": len(rows), "rows": rows}
+
+    # -- dispatch --------------------------------------------------------
+    async def dispatch(self, method: str, path: str,
+                       query: Mapping[str, list[str]],
+                       body: bytes) -> tuple[int, Any, str]:
+        """Route one request; returns (status, payload, content type)."""
+        if path in ("/", "/dashboard"):
+            if method != "GET":
+                raise HttpError(405, f"{path} supports GET only")
+            return 200, DASHBOARD_HTML, "text/html; charset=utf-8"
+        if path == "/eval/batch":
+            if method != "POST":
+                raise HttpError(405, "/eval/batch supports POST only")
+            status, payload = await self._eval_batch(body)
+            return status, payload, "application/json"
+        if method != "GET":
+            raise HttpError(405, f"{path} supports GET only")
+        if path == "/eval":
+            status, payload = await self._eval(query)
+        elif path == "/summary":
+            status, payload = await self._summary(query)
+        elif path == "/pareto":
+            status, payload = await self._pareto(query)
+        elif path == "/healthz":
+            payload = self.service.health()
+            status = 503 if self.service.draining else 200
+        elif path == "/metrics":
+            status, payload = 200, self.service.snapshot()
+        else:
+            raise HttpError(404, f"unknown path {path!r}")
+        return status, payload, "application/json"
+
+    # -- wire protocol ---------------------------------------------------
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        """One connection: parse one request, answer it, close."""
+        try:
+            try:
+                method, path, query, body = await asyncio.wait_for(
+                    _read_request(reader), READ_TIMEOUT_S)
+            except asyncio.TimeoutError:
+                _write_response(writer, 408,
+                                {"error": "request read timed out"})
+                return
+            except HttpError as exc:
+                _write_response(writer, exc.status, {"error": exc.message})
+                return
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return  # client went away mid-request
+            try:
+                status, payload, ctype = await self.dispatch(
+                    method, path, query, body)
+            except HttpError as exc:
+                self.service.metrics.incr("serve.http.errors")
+                _write_response(writer, exc.status, {"error": exc.message})
+                return
+            except Exception as exc:  # noqa: BLE001 -- connection survives
+                self.service.metrics.incr("serve.http.errors")
+                _write_response(
+                    writer, 500,
+                    {"error": f"{type(exc).__name__}: {exc}"})
+                return
+            _write_response(writer, status, payload, ctype)
+        finally:
+            try:
+                await writer.drain()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            writer.close()
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> tuple[str, str, dict[str, list[str]], bytes]:
+    """Parse one HTTP/1.1 request head + body from the stream."""
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("empty request")
+    if len(line) > MAX_REQUEST_LINE:
+        raise HttpError(400, "request line too long")
+    try:
+        method, target, _version = line.decode("latin-1").split()
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADERS):
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        if len(raw) > MAX_REQUEST_LINE:
+            raise HttpError(400, "header line too long")
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, f"too many headers (max {MAX_HEADERS})")
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(400, "bad Content-Length") from None
+        if n > MAX_BODY_BYTES:
+            raise HttpError(413, f"body too large (max {MAX_BODY_BYTES})")
+        body = await reader.readexactly(n)
+    split = urlsplit(target)
+    query = parse_qs(split.query, keep_blank_values=True)
+    return method.upper(), split.path or "/", query, body
+
+
+def _write_response(writer: asyncio.StreamWriter, status: int,
+                    payload: Any,
+                    content_type: str = "application/json") -> None:
+    """Serialize one response (JSON unless told otherwise) and send it."""
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+    else:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin-1")
+    writer.write(head + body)
+
+
+async def start_http(service: EvalService, host: str = "127.0.0.1",
+                     port: int = 0) -> asyncio.AbstractServer:
+    """Bind the HTTP front end; ``port=0`` picks an ephemeral port."""
+    frontend = HttpFrontend(service)
+    return await asyncio.start_server(frontend.handle, host, port)

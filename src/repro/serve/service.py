@@ -1,0 +1,489 @@
+"""The always-on evaluation service: single-flight, hot tier, workers.
+
+:class:`EvalService` answers :class:`~repro.eval.request.EvalRequest`
+questions through four tiers, cheapest first:
+
+1. **hot** -- an in-memory LRU (:class:`~repro.serve.cache.HotCache`)
+   over deserialized results;
+2. **in-flight coalescing** -- identical concurrent requests (same
+   config-hash key) attach to the one evaluation already running
+   instead of starting their own.  This is the *single-flight* layer
+   that replaces :mod:`repro.eval.api`'s per-process memo, which is
+   not safe for concurrent callers (see that module's docstring);
+3. **store** -- the fcntl-locked persistent
+   :class:`~repro.dse.store.ResultStore`, one namespace per backend
+   fingerprint, shared with every campaign and CLI run;
+4. **compute** -- a bounded background worker pool.  ``workers=0``
+   evaluates misses inline on the dispatch thread (no subprocesses;
+   the low-latency single-host mode); ``workers>=1`` fans each batch
+   of misses out over the supervised, self-healing
+   :class:`~repro.dse.pool.WatchdogPool`, so a crashing or hanging
+   evaluation costs one worker process, never the service.
+
+Both compute paths retry transient failures per the
+:class:`~repro.dse.retry.RetryPolicy` (poison errors fail fast), and
+the service process owns every store write -- worker processes only
+compute, exactly like the campaign executor.
+
+The service is asyncio-native: :meth:`EvalService.submit` is awaited
+by the HTTP layer, blocking work (store reads, evaluation batches)
+runs via ``asyncio.to_thread``, and draining
+(:meth:`EvalService.drain`) lets in-flight evaluations finish while
+new misses are rejected -- the graceful half of a SIGTERM.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from repro import faults
+from repro.dse.pool import WatchdogPool
+from repro.dse.records import make_record, result_from_dict, result_to_dict
+from repro.dse.retry import RetryPolicy
+from repro.dse.store import ResultStore
+from repro.eval.registry import get_backend
+from repro.eval.request import EvalRequest
+from repro.eval.result import EvalResult
+from repro.obs import flush, observe, trace
+from repro.serve.cache import DEFAULT_HOT_MAX, HotCache
+from repro.serve.metrics import ServeMetrics
+
+#: Default bound on queued (accepted but not yet dispatched) misses;
+#: past it the service answers 503 instead of hoarding latency.
+DEFAULT_QUEUE_MAX = 64
+
+#: Fault kinds the service worker executes at ``site=serve`` (the
+#: ``slow_io`` half of the site belongs to the store-read hook).
+_WORKER_FAULT_KINDS = ("crash", "hang", "die")
+
+
+@dataclass(frozen=True)
+class ServeJob:
+    """A picklable pool task wrapping one evaluation request."""
+
+    request: EvalRequest
+
+    @property
+    def label(self) -> str:
+        return self.request.label
+
+    def key(self) -> str:
+        return self.request.key()
+
+    def to_dict(self) -> dict[str, Any]:
+        return self.request.to_dict()
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """A worker exception payload (mirrors the campaign executor's)."""
+
+    error: str
+    etype: str = ""
+    kind: str = "exception"
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One settled request: a result, or a classified failure.
+
+    ``source`` says which tier answered: ``hot``, ``store``,
+    ``computed``, or ``coalesced`` (this caller attached to another
+    request's in-flight evaluation).  On failure ``result`` is ``None``
+    and ``error``/``etype``/``kind`` describe the last attempt;
+    ``kind`` is ``"exception"``, a watchdog kind (``timeout``,
+    ``heartbeat-silent``, ``worker-died``), ``"rejected"`` (queue
+    saturated), or ``"draining"``.
+    """
+
+    key: str
+    result: EvalResult | None = None
+    source: str = "computed"
+    attempts: int = 0
+    error: str | None = None
+    etype: str | None = None
+    kind: str = "exception"
+    poisoned: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def _serve_worker(job: ServeJob, attempt: int = 0) -> tuple[str, Any, float]:
+    """One evaluation attempt: failure-tolerant, chaos-instrumented.
+
+    Runs inline (``workers=0``) or inside a supervised pool worker;
+    either way it never raises -- an exception becomes a
+    :class:`PointFailure` payload the retry policy classifies.  The
+    ``serve``-site fault hook fires here (crash/hang/die), with the
+    point context bound so deep ``gemm``-site clauses key off the
+    request too.
+    """
+    start = time.perf_counter()
+    key = job.key()
+    faults.set_point_context(key, attempt)
+    try:
+        with trace("serve.point", label=job.label, attempt=attempt):
+            faults.fire("serve", kinds=_WORKER_FAULT_KINDS)
+            backend = get_backend(job.request.backend)
+            result = backend.evaluate(job.request)
+            return key, result_to_dict(result), time.perf_counter() - start
+    except Exception as exc:  # noqa: BLE001 -- any evaluation fault
+        failure = PointFailure(error=f"{type(exc).__name__}: {exc}",
+                               etype=type(exc).__name__)
+        return key, failure, time.perf_counter() - start
+    finally:
+        faults.clear_point_context()
+        flush()
+
+
+class EvalService:
+    """Single-flight cached evaluation over a persistent store root."""
+
+    def __init__(self,
+                 store_root: str | Path | None = None,
+                 *,
+                 workers: int = 0,
+                 hot_max: int = DEFAULT_HOT_MAX,
+                 queue_max: int = DEFAULT_QUEUE_MAX,
+                 policy: RetryPolicy | None = None) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if queue_max < 1:
+            raise ValueError(f"queue_max must be >= 1, got {queue_max}")
+        self.store_root = (Path(store_root) if store_root is not None
+                           else None)
+        self.workers = workers
+        self.queue_max = queue_max
+        self.policy = policy or RetryPolicy()
+        self.hot = HotCache(hot_max)
+        self.metrics = ServeMetrics()
+        self._stores: dict[str, ResultStore] = {}
+        self._inflight: dict[str, "asyncio.Future[Outcome]"] = {}
+        self._queue: "asyncio.Queue[ServeJob] | None" = None
+        self._dispatcher: "asyncio.Task[None] | None" = None
+        self._draining = False
+        self._started_mono = time.monotonic()
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        """Create the miss queue and dispatcher (call once, in a loop)."""
+        if self._queue is not None:
+            raise RuntimeError("service already started")
+        self._queue = asyncio.Queue(maxsize=self.queue_max)
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-serve-dispatch")
+        self._started_mono = time.monotonic()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self, timeout_s: float | None = 30.0) -> bool:
+        """Stop taking new misses, let in-flight work finish, shut down.
+
+        Already-queued and executing evaluations complete and commit;
+        new cache misses are rejected with a ``draining`` outcome (hot
+        and store tiers keep answering until shutdown).  Returns
+        ``True`` if everything settled within ``timeout_s``.
+        """
+        self._draining = True
+        deadline = (None if timeout_s is None
+                    else time.monotonic() + timeout_s)
+        settled = True
+        while self._inflight:
+            if deadline is not None and time.monotonic() > deadline:
+                settled = False
+                break
+            await asyncio.sleep(0.02)
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        return settled
+
+    # -- the request path ------------------------------------------------
+    async def submit(self, request: EvalRequest) -> Outcome:
+        """Answer one request through hot -> coalesce -> store -> compute.
+
+        Raises ``ValueError`` for an invalid request; every other
+        failure mode comes back as a settled :class:`Outcome` (the HTTP
+        layer maps those to status codes).
+        """
+        if self._queue is None:
+            raise RuntimeError("service not started; await start() first")
+        request.validate()
+        key = request.key()
+        start = time.perf_counter()
+        self.metrics.incr("serve.requests")
+        try:
+            hot = self.hot.get(key)
+            if hot is not None:
+                self.metrics.incr("serve.cache.hot_hit")
+                return Outcome(key=key, result=hot, source="hot")
+
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self.metrics.incr("serve.coalesced")
+                outcome = await asyncio.shield(inflight)
+                return replace(outcome, source="coalesced")
+
+            future: "asyncio.Future[Outcome]" = \
+                asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
+
+            try:
+                stored = await asyncio.to_thread(
+                    self._load_stored, request, key)
+                if stored is not None:
+                    self.hot.put(key, stored)
+                    self.metrics.incr("serve.cache.store_hit")
+                    self._settle(key, Outcome(key=key, result=stored,
+                                              source="store"))
+                else:
+                    self.metrics.incr("serve.cache.miss")
+                    if self._draining:
+                        self._settle(key, Outcome(
+                            key=key, kind="draining",
+                            error="service is draining; "
+                                  "try another replica"))
+                    else:
+                        try:
+                            self._queue.put_nowait(ServeJob(request))
+                        except asyncio.QueueFull:
+                            self.metrics.incr("serve.rejected")
+                            self._settle(key, Outcome(
+                                key=key, kind="rejected",
+                                error=f"evaluation queue is saturated "
+                                      f"({self.queue_max} pending)"))
+            except BaseException as exc:
+                # The leader must never leave coalesced waiters hanging
+                # on an unsettled future (lookup error, cancellation).
+                self._settle(key, Outcome(
+                    key=key, error=f"{type(exc).__name__}: {exc}",
+                    etype=type(exc).__name__))
+                raise
+            return await asyncio.shield(future)
+        finally:
+            elapsed = time.perf_counter() - start
+            self.metrics.observe_latency(elapsed)
+            observe("serve.request", elapsed, key=key)
+
+    def _settle(self, key: str, outcome: Outcome) -> None:
+        """Resolve ``key``'s future (leader and coalesced waiters)."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(outcome)
+
+    def _store_for(self, backend_name: str) -> ResultStore:
+        """This backend's fingerprint-namespaced store under the root."""
+        if backend_name not in self._stores:
+            self._stores[backend_name] = ResultStore(
+                self.store_root,
+                namespace=get_backend(backend_name).fingerprint())
+        return self._stores[backend_name]
+
+    def _load_stored(self, request: EvalRequest, key: str) -> EvalResult | None:
+        """Blocking store lookup (runs off-loop; chaos-instrumented).
+
+        A miss re-reads the backing file once before giving up: another
+        process (a campaign shard, a sibling service) may have appended
+        the record after this process first loaded the namespace.
+        """
+        if faults.serve_read_fault(key) is not None:
+            self.metrics.incr("serve.faults.slow_read")
+        try:
+            store = self._store_for(request.backend)
+            with trace("serve.store_lookup", backend=request.backend):
+                result = store.result(key)
+                if result is None:
+                    store.refresh()
+                    result = store.result(key)
+            return result
+        except OSError as exc:
+            self.metrics.incr("serve.store_errors")
+            observe("serve.store_error", 0.0, error=type(exc).__name__)
+            return None
+
+    # -- the compute path ------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        """Pull queued misses, run them as one batch, settle futures."""
+        assert self._queue is not None
+        while True:
+            job = await self._queue.get()
+            jobs = [job]
+            while not self._queue.empty():
+                jobs.append(self._queue.get_nowait())
+            try:
+                outcomes = await asyncio.to_thread(self._run_batch, jobs)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 -- dispatcher survives
+                self.metrics.incr("serve.batch_errors")
+                outcomes = {
+                    j.key(): Outcome(
+                        key=j.key(), attempts=1,
+                        error=f"{type(exc).__name__}: {exc}",
+                        etype=type(exc).__name__)
+                    for j in jobs
+                }
+            for key, outcome in outcomes.items():
+                self._settle(key, outcome)
+
+    def _run_batch(self, jobs: list[ServeJob]) -> dict[str, Outcome]:
+        """Evaluate one batch of misses (blocking; runs off-loop)."""
+        by_key = {job.key(): job for job in jobs}
+        if self.workers == 0:
+            outcomes = {}
+            for key, job in by_key.items():
+                outcomes[key] = self._run_inline(job)
+            return outcomes
+        return self._run_pool(list(by_key.values()))
+
+    def _run_inline(self, job: ServeJob) -> Outcome:
+        """Sequential in-process evaluation with policy-driven retries.
+
+        No subprocess, so watchdog deadlines cannot be enforced here --
+        a truly hung backend stalls the dispatch thread.  ``workers>=1``
+        buys the supervised pool when that matters.
+        """
+        key = job.key()
+        last_error: str | None = None
+        attempt = 0
+        while True:
+            _, payload, elapsed = _serve_worker(job, attempt)
+            if not isinstance(payload, PointFailure):
+                return self._commit(job, payload, elapsed,
+                                    attempts=attempt + 1,
+                                    last_error=last_error)
+            last_error = payload.error
+            outcome = self._classify_failure(
+                key, payload, attempt, elapsed)
+            if outcome is not None:
+                return outcome
+            time.sleep(self.policy.backoff_for(key, attempt))
+            attempt += 1
+
+    def _run_pool(self, jobs: list[ServeJob]) -> dict[str, Outcome]:
+        """Fan one batch out over a supervised self-healing pool."""
+        outcomes: dict[str, Outcome] = {}
+        last_error: dict[str, str] = {}
+
+        def handle(job: Any, attempt: int, key: Any, payload: Any,
+                   elapsed: float, reason: str) -> float | None:
+            if key is None:
+                key = job.key()
+            if reason != "ok":
+                if reason in ("timeout", "heartbeat-silent"):
+                    self.metrics.incr("serve.timed_out")
+                failure = PointFailure(
+                    error=f"{reason} after {elapsed:.1f}s "
+                          f"(attempt {attempt + 1})",
+                    etype=reason, kind=reason)
+            elif isinstance(payload, PointFailure):
+                failure = payload
+            else:
+                outcomes[key] = self._commit(
+                    job, payload, elapsed, attempts=attempt + 1,
+                    last_error=last_error.get(key))
+                return None
+            last_error[key] = failure.error
+            if self.policy.is_retryable(failure.etype, failure.kind) \
+                    and attempt + 1 < self.policy.max_attempts:
+                return self.policy.backoff_for(key, attempt)
+            outcomes[key] = self._failed(key, failure, attempt + 1)
+            return None
+
+        pool = WatchdogPool(_serve_worker, min(self.workers, len(jobs)),
+                            self.policy)
+        pool.run(list(jobs), handle)
+        return outcomes
+
+    def _commit(self, job: ServeJob, payload: dict[str, Any],
+                elapsed: float, *, attempts: int,
+                last_error: str | None) -> Outcome:
+        """Persist one fresh result and fill the hot tier (terminal)."""
+        key = job.key()
+        result = result_from_dict(payload)
+        backend = get_backend(job.request.backend)
+        record = make_record(
+            job, payload, elapsed, fingerprint=backend.fingerprint(),
+            attempts=attempts if attempts > 1 else None,
+            last_error=last_error if attempts > 1 else None)
+        try:
+            with trace("serve.persist", backend=job.request.backend):
+                self._store_for(job.request.backend).put(key, record)
+        except OSError:
+            # An unwritable store costs persistence, not the answer.
+            self.metrics.incr("serve.persist_failures")
+        self.hot.put(key, result)
+        self.metrics.incr("serve.evaluated")
+        if attempts > 1:
+            self.metrics.incr("serve.retried")
+        if last_error is not None and "InjectedFault" in last_error:
+            self.metrics.incr("serve.faults.recovered")
+        return Outcome(key=key, result=result, attempts=attempts)
+
+    def _classify_failure(self, key: str, failure: PointFailure,
+                          attempt: int, elapsed: float) -> Outcome | None:
+        """``None`` to retry (inline path), else the terminal outcome."""
+        if self.policy.is_retryable(failure.etype, failure.kind) \
+                and attempt + 1 < self.policy.max_attempts:
+            observe("serve.retry.backoff",
+                    self.policy.backoff_for(key, attempt),
+                    key=key, attempt=attempt + 1)
+            return None
+        return self._failed(key, failure, attempt + 1)
+
+    def _failed(self, key: str, failure: PointFailure,
+                attempts: int) -> Outcome:
+        """Account one settled failure (budget exhausted or poison)."""
+        poisoned = (failure.kind == "exception"
+                    and not self.policy.is_retryable(failure.etype,
+                                                     failure.kind))
+        self.metrics.incr("serve.failed")
+        if poisoned:
+            self.metrics.incr("serve.poisoned")
+        if attempts > 1:
+            self.metrics.incr("serve.retried")
+        return Outcome(key=key, attempts=attempts, error=failure.error,
+                       etype=failure.etype, kind=failure.kind,
+                       poisoned=poisoned)
+
+    # -- introspection ---------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """The ``/metrics`` payload: counters, gauges, latency window."""
+        return {
+            "counters": self.metrics.counters(),
+            "gauges": {
+                "serve.inflight": len(self._inflight),
+                "serve.queue_depth": (self._queue.qsize()
+                                      if self._queue is not None else 0),
+                "serve.hot_entries": len(self.hot),
+                "serve.hot_max": self.hot.max_entries,
+                "serve.workers": self.workers,
+                "serve.uptime_s": time.monotonic() - self._started_mono,
+                "serve.draining": int(self._draining),
+            },
+            "latency": self.metrics.latency(),
+        }
+
+    def health(self) -> dict[str, Any]:
+        """The ``/healthz`` payload (status + load gauges)."""
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": time.monotonic() - self._started_mono,
+            "in_flight": len(self._inflight),
+            "queue_depth": (self._queue.qsize()
+                            if self._queue is not None else 0),
+            "workers": self.workers,
+            "hot_entries": len(self.hot),
+        }

@@ -204,3 +204,63 @@ class TestHooks:
         first = faults.store_write_fault("abcd")
         second = faults.store_write_fault("abcd")
         assert (first, second) == ("torn_write", None)
+
+
+class TestServeSite:
+    """The ``serve`` site: grammar, the kinds split, the read hook."""
+
+    def test_serve_site_grammar_round_trips(self):
+        spec = "seed=5,crash:0.5:site=serve,slow_io:1:attempt<1:site=serve"
+        plan = FaultPlan.parse(spec)
+        assert {clause.site for clause in plan.clauses} == {"serve"}
+        assert FaultPlan.parse(plan.spec()) == plan
+
+    @pytest.mark.parametrize("kind", ["crash", "hang", "die", "slow_io"])
+    def test_process_and_io_kinds_allowed_at_serve(self, kind):
+        (clause,) = FaultPlan.parse(f"{kind}:site=serve").clauses
+        assert clause.site == "serve"
+
+    def test_torn_write_rejected_at_serve(self):
+        # Tearing is a store-append concern; the service's store writes
+        # already go through the store site.
+        with pytest.raises(ValueError):
+            FaultPlan.parse("torn_write:site=serve")
+
+    def test_kinds_filter_restricts_decisions(self):
+        plan = FaultPlan.parse("crash:site=serve")
+        assert plan.decide("serve", "abcd", 0) is not None
+        assert plan.decide("serve", "abcd", 0,
+                           kinds=("slow_io",)) is None
+        assert plan.decide("serve", "abcd", 0,
+                           kinds=("crash", "hang")) is not None
+
+    def test_kinds_filter_falls_through_to_later_clauses(self):
+        # The filter skips non-matching clauses rather than aborting:
+        # a crash clause ahead of a slow_io clause must not shadow it
+        # for the read hook.
+        plan = FaultPlan.parse("crash:site=serve,slow_io:site=serve")
+        decided = plan.decide("serve", "abcd", 0, kinds=("slow_io",))
+        assert decided is not None and decided.kind == "slow_io"
+
+    def test_serve_read_fault_fires_slow_io_only(self):
+        faults.configure("slow_s=0.01,slow_io:site=serve")
+        assert faults.serve_read_fault("abcd") == "slow_io"
+        faults.configure("crash:site=serve")   # wrong half of the site
+        assert faults.serve_read_fault("abcd") is None
+
+    def test_serve_read_ordinal_gates_first_lookup_only(self):
+        faults.configure("slow_s=0.01,slow_io:attempt<1:site=serve")
+        first = faults.serve_read_fault("abcd")
+        second = faults.serve_read_fault("abcd")
+        assert (first, second) == ("slow_io", None)
+
+    def test_fire_respects_kinds_at_shared_sites(self):
+        faults.configure("slow_s=0.01,slow_io:site=serve")
+        # The worker hook only executes process-breaking kinds; a
+        # slow_io-only plan is invisible to it.
+        faults.fire("serve", key="abcd", attempt=0,
+                    kinds=("crash", "hang", "die"))  # must not stall/raise
+        faults.configure("crash:site=serve")
+        with pytest.raises(InjectedFault):
+            faults.fire("serve", key="abcd", attempt=0,
+                        kinds=("crash", "hang", "die"))

@@ -1,0 +1,15 @@
+"""Shared fixtures for the serving tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    """No fault plan leaks into the next test (or the exported env)."""
+    yield
+    faults.configure(None)
+    faults.clear_point_context()

@@ -1,0 +1,73 @@
+"""The hot tier: LRU semantics, capacity, and the disabled mode."""
+
+import pytest
+
+from repro.serve.cache import HotCache
+from serve_helpers import fake_result, mini_request
+
+
+def _result(tag: str):
+    return fake_result(mini_request(), cycles=float(len(tag)))
+
+
+class TestHotCache:
+    def test_miss_then_hit(self):
+        cache = HotCache(4)
+        assert cache.get("a") is None
+        result = _result("a")
+        cache.put("a", result)
+        assert cache.get("a") is result
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_evicts_coldest_past_capacity(self):
+        cache = HotCache(2)
+        cache.put("a", _result("a"))
+        cache.put("b", _result("b"))
+        cache.put("c", _result("c"))
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+        assert cache.get("c") is not None
+
+    def test_get_refreshes_recency(self):
+        cache = HotCache(2)
+        cache.put("a", _result("a"))
+        cache.put("b", _result("b"))
+        cache.get("a")             # now "b" is the coldest
+        cache.put("c", _result("c"))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+
+    def test_put_overwrites_and_refreshes(self):
+        cache = HotCache(2)
+        first, second = _result("a"), _result("aa")
+        cache.put("a", first)
+        cache.put("b", _result("b"))
+        cache.put("a", second)     # refresh + replace
+        cache.put("c", _result("c"))
+        assert cache.get("a") is second
+        assert cache.get("b") is None
+
+    def test_keys_coldest_first(self):
+        cache = HotCache(4)
+        for key in ("a", "b", "c"):
+            cache.put(key, _result(key))
+        cache.get("a")
+        assert cache.keys() == ("b", "c", "a")
+
+    def test_zero_capacity_disables_the_tier(self):
+        cache = HotCache(0)
+        cache.put("a", _result("a"))
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = HotCache(4)
+        cache.put("a", _result("a"))
+        cache.clear()
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            HotCache(-1)

@@ -1,0 +1,153 @@
+"""Chaos at the serve site: injected faults against the live service.
+
+The acceptance pin: a seeded ``crash:site=serve`` plan completes green
+-- every request answered, the planned retry counters recorded -- in
+both compute modes (inline and the supervised pool), and a
+``slow_io:site=serve`` plan stalls exactly the store reads it
+schedules, surfaced at ``/metrics`` as ``serve.faults.slow_read``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from repro import faults
+from repro.dse.retry import RetryPolicy
+from repro.serve.service import EvalService
+from serve_helpers import counting_backend, mini_request, run_async
+
+FAST_RETRY = RetryPolicy(backoff_s=0.0, jitter=0.0)
+
+
+def _store_records(root) -> list[dict]:
+    records = []
+    for path in root.rglob("results.jsonl"):
+        for line in path.read_text().splitlines():
+            if line.strip():
+                records.append(json.loads(line))
+    return records
+
+
+async def _serve_one(root, request, **kwargs):
+    service = EvalService(root, **kwargs)
+    await service.start()
+    outcome = await service.submit(request)
+    await service.drain(timeout_s=10)
+    return service, outcome
+
+
+class TestCrashAtServe:
+    def test_inline_crash_retries_to_green(self, tmp_path, monkeypatch):
+        calls = counting_backend(monkeypatch, "model")
+        request = mini_request()
+        # Certainty crash on every first attempt; the retry (attempt 1)
+        # is past the attempt<1 gate and sails through.
+        faults.configure("seed=7,crash:1:attempt<1:site=serve")
+
+        service, outcome = run_async(
+            _serve_one(tmp_path, request, policy=FAST_RETRY))
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert len(calls) == 1              # attempt 0 crashed pre-backend
+        counts = service.metrics.counters()
+        assert counts["serve.retried"] == 1
+        assert counts["serve.faults.recovered"] == 1
+        (record,) = _store_records(tmp_path)
+        assert record["attempts"] == 2
+        assert "InjectedFault" in record["last_error"]
+
+    def test_pool_crash_retries_to_green(self, tmp_path):
+        """The plan rides $REPRO_FAULTS into the pool's worker
+        processes; the crash costs one attempt there, never the
+        service."""
+        request = mini_request()
+        faults.configure("seed=7,crash:1:attempt<1:site=serve")
+
+        service, outcome = run_async(
+            _serve_one(tmp_path, request, workers=2, policy=FAST_RETRY))
+        assert outcome.ok
+        assert outcome.attempts == 2
+        counts = service.metrics.counters()
+        assert counts["serve.retried"] == 1
+        assert counts["serve.faults.recovered"] == 1
+        (record,) = _store_records(tmp_path)
+        assert record["attempts"] == 2
+
+    def test_crash_budget_exhaustion_settles_failed(self, tmp_path,
+                                                    monkeypatch):
+        counting_backend(monkeypatch, "model")
+        faults.configure("seed=7,crash:1:site=serve")  # every attempt
+
+        service, outcome = run_async(
+            _serve_one(tmp_path, mini_request(),
+                       policy=FAST_RETRY.with_overrides(max_attempts=2)))
+        assert not outcome.ok
+        assert not outcome.poisoned         # injected crashes are transient
+        assert outcome.attempts == 2
+        assert outcome.etype == "InjectedFault"
+        assert service.metrics.count("serve.failed") == 1
+        assert _store_records(tmp_path) == []
+
+
+class TestSlowIoAtServe:
+    def test_first_store_read_stalls_and_is_counted(self, tmp_path,
+                                                    monkeypatch):
+        counting_backend(monkeypatch, "model")
+        request = mini_request()
+        # attempt<1 at the serve site gates on the per-key *read
+        # ordinal*: only the first lookup of a key stalls.
+        faults.configure("seed=7,slow_s=0.1,slow_io:1:attempt<1:site=serve")
+
+        async def main():
+            service = EvalService(tmp_path, hot_max=0)  # force store reads
+            await service.start()
+            start = time.perf_counter()
+            first = await service.submit(request)
+            first_s = time.perf_counter() - start
+            start = time.perf_counter()
+            second = await service.submit(request)
+            second_s = time.perf_counter() - start
+            await service.drain(timeout_s=10)
+            return service, first, second, first_s, second_s
+
+        service, first, second, first_s, second_s = run_async(main())
+        assert first.ok and second.ok
+        assert first_s >= 0.1               # the scheduled stall
+        assert second_s < 0.1               # ordinal 1 is past the gate
+        assert service.metrics.count("serve.faults.slow_read") == 1
+
+    def test_crash_plan_does_not_touch_the_read_path(self, tmp_path,
+                                                     monkeypatch):
+        """The serve site's kinds are split between its two hooks: a
+        crash-only plan fires in the worker, never the store read."""
+        counting_backend(monkeypatch, "model")
+        faults.configure("seed=7,crash:1:attempt<1:site=serve")
+
+        service, outcome = run_async(
+            _serve_one(tmp_path, mini_request(), policy=FAST_RETRY))
+        assert outcome.ok
+        assert service.metrics.count("serve.faults.slow_read") == 0
+
+
+class TestChaosDeterminism:
+    def test_same_plan_same_outcome(self, tmp_path, monkeypatch):
+        """Chaos runs are reproducible: the same seeded plan against
+        the same request yields the same attempt count and answer."""
+        counting_backend(monkeypatch, "model")
+        request = mini_request()
+
+        def once(root):
+            faults.configure("seed=11,crash:0.5:attempt<2:site=serve")
+            service, outcome = run_async(
+                _serve_one(root, request, policy=FAST_RETRY))
+            faults.configure(None)
+            return outcome
+
+        a = once(tmp_path / "a")
+        b = once(tmp_path / "b")
+        assert a.ok == b.ok
+        assert a.attempts == b.attempts
+        if a.ok:
+            assert a.result.to_dict() == b.result.to_dict()

@@ -1,0 +1,394 @@
+"""The evaluation service: coalescing, cache tiers, retries, drain.
+
+The acceptance pins: (1) N=8 concurrent identical sim-backed requests
+produce exactly one backend call, one store append, and 8 identical
+responses, with the counters matching (``serve.coalesced == 7``);
+(2) a repeat request hits the hot tier; (3) a saturated miss queue
+answers ``rejected`` (503 at the HTTP layer) instead of hoarding
+latency; (4) a poison request settles as ``poisoned`` with the last
+error preserved; (5) two service instances over one store root share
+results through the store tier.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.dse.retry import RetryPolicy
+from repro.eval.request import EvalRequest
+from repro.serve.service import EvalService, Outcome, ServeJob
+from serve_helpers import counting_backend, fake_result, mini_request, run_async
+
+#: A zero-wait retry policy so failure tests don't sleep.
+FAST_RETRY = RetryPolicy(backoff_s=0.0, jitter=0.0)
+
+
+async def _started(root, **kwargs) -> EvalService:
+    service = EvalService(root, **kwargs)
+    await service.start()
+    return service
+
+
+def _store_lines(root) -> list[dict]:
+    lines = []
+    for path in root.rglob("results.jsonl"):
+        for line in path.read_text().splitlines():
+            if line.strip():
+                lines.append(json.loads(line))
+    return lines
+
+
+class TestCoalescing:
+    def test_eight_identical_requests_one_evaluation(self, tmp_path,
+                                                     monkeypatch):
+        calls = counting_backend(monkeypatch, "sim-vectorized")
+        request = mini_request(backend="sim-vectorized")
+
+        async def main():
+            service = await _started(tmp_path)
+            outcomes = await asyncio.gather(
+                *(service.submit(request) for _ in range(8)))
+            await service.drain(timeout_s=5)
+            return outcomes
+
+        outcomes = run_async(main())
+        assert len(calls) == 1                      # one backend call
+        assert len(_store_lines(tmp_path)) == 1     # one store append
+        assert all(o.ok for o in outcomes)
+        dicts = [o.result.to_dict() for o in outcomes]
+        assert all(d == dicts[0] for d in dicts)    # 8 identical answers
+        assert sorted(o.source for o in outcomes) == \
+            ["coalesced"] * 7 + ["computed"]
+
+    def test_coalescing_counters(self, tmp_path, monkeypatch):
+        counting_backend(monkeypatch, "sim-vectorized")
+        request = mini_request(backend="sim-vectorized")
+
+        async def main():
+            service = await _started(tmp_path)
+            await asyncio.gather(
+                *(service.submit(request) for _ in range(8)))
+            # A repeat after settlement is a hot-tier hit.
+            repeat = await service.submit(request)
+            await service.drain(timeout_s=5)
+            return service, repeat
+
+        service, repeat = run_async(main())
+        counts = service.metrics.counters()
+        assert counts["serve.coalesced"] == 7
+        assert counts["serve.cache.miss"] == 1
+        assert counts["serve.evaluated"] == 1
+        assert counts["serve.requests"] == 9
+        assert counts["serve.cache.hot_hit"] == 1
+        assert repeat.source == "hot"
+
+    def test_different_requests_do_not_coalesce(self, tmp_path,
+                                                monkeypatch):
+        calls = counting_backend(monkeypatch, "model")
+        a = mini_request()
+        b = EvalRequest(workload="cnn_lstm@frames=2+bins=32+hidden=32")
+
+        async def main():
+            service = await _started(tmp_path)
+            outcomes = await asyncio.gather(service.submit(a),
+                                            service.submit(b))
+            await service.drain(timeout_s=5)
+            return service, outcomes
+
+        service, outcomes = run_async(main())
+        assert len(calls) == 2
+        assert all(o.ok for o in outcomes)
+        assert service.metrics.count("serve.coalesced") == 0
+        assert len(_store_lines(tmp_path)) == 2
+
+
+class TestCacheTiers:
+    def test_store_tier_across_instances(self, tmp_path, monkeypatch):
+        calls = counting_backend(monkeypatch, "model")
+        request = mini_request()
+
+        async def first():
+            service = await _started(tmp_path)
+            outcome = await service.submit(request)
+            await service.drain(timeout_s=5)
+            return outcome
+
+        async def second():
+            # A fresh instance: cold hot tier, warm store.
+            service = await _started(tmp_path)
+            outcome = await service.submit(request)
+            counters = service.metrics.counters()
+            await service.drain(timeout_s=5)
+            return outcome, counters
+
+        computed = run_async(first())
+        stored, counters = run_async(second())
+        assert len(calls) == 1                     # store answered run 2
+        assert computed.source == "computed"
+        assert stored.source == "store"
+        assert counters["serve.cache.store_hit"] == 1
+        assert stored.result.to_dict() == computed.result.to_dict()
+
+    def test_hot_tier_disabled_falls_back_to_store(self, tmp_path,
+                                                   monkeypatch):
+        counting_backend(monkeypatch, "model")
+        request = mini_request()
+
+        async def main():
+            service = await _started(tmp_path, hot_max=0)
+            first = await service.submit(request)
+            second = await service.submit(request)
+            await service.drain(timeout_s=5)
+            return service, first, second
+
+        service, first, second = run_async(main())
+        assert first.source == "computed"
+        assert second.source == "store"
+        assert service.metrics.count("serve.cache.hot_hit") == 0
+
+
+class TestBackpressure:
+    def test_saturated_queue_rejects(self, tmp_path, monkeypatch):
+        release = threading.Event()
+
+        def slow(request):
+            release.wait(timeout=10)
+            return fake_result(request)
+
+        counting_backend(monkeypatch, "model", fn=slow)
+        reqs = [EvalRequest(
+            workload=f"cnn_lstm@frames=2+bins=32+hidden={h}")
+            for h in (16, 32, 64)]
+
+        async def main():
+            service = await _started(tmp_path, queue_max=1)
+            # First miss: dispatched, blocks the batch thread.
+            t1 = asyncio.create_task(service.submit(reqs[0]))
+            await asyncio.sleep(0.1)
+            # Second miss: parks in the (size-1) queue.
+            t2 = asyncio.create_task(service.submit(reqs[1]))
+            await asyncio.sleep(0.05)
+            # Third miss: queue full -> settled 'rejected' immediately.
+            rejected = await service.submit(reqs[2])
+            release.set()
+            first, second = await asyncio.gather(t1, t2)
+            await service.drain(timeout_s=5)
+            return service, first, second, rejected
+
+        service, first, second, rejected = run_async(main())
+        assert first.ok and second.ok
+        assert not rejected.ok
+        assert rejected.kind == "rejected"
+        assert "saturated" in rejected.error
+        assert service.metrics.count("serve.rejected") == 1
+
+
+class TestFailures:
+    def test_poison_request_fails_fast_with_last_error(self, tmp_path,
+                                                       monkeypatch):
+        def poison(request):
+            raise ValueError("deterministically broken config")
+
+        counting_backend(monkeypatch, "model", fn=poison)
+
+        async def main():
+            service = await _started(tmp_path, policy=FAST_RETRY)
+            outcome = await service.submit(mini_request())
+            await service.drain(timeout_s=5)
+            return service, outcome
+
+        service, outcome = run_async(main())
+        assert not outcome.ok
+        assert outcome.poisoned
+        assert outcome.attempts == 1               # no retry on poison
+        assert outcome.etype == "ValueError"
+        assert "deterministically broken" in outcome.error
+        assert service.metrics.count("serve.poisoned") == 1
+        assert service.metrics.count("serve.failed") == 1
+        assert _store_lines(tmp_path) == []        # failures don't persist
+
+    def test_transient_failure_retries_then_commits(self, tmp_path,
+                                                    monkeypatch):
+        attempts = {"n": 0}
+
+        def flaky(request):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise OSError("transient infrastructure weather")
+            return fake_result(request)
+
+        counting_backend(monkeypatch, "model", fn=flaky)
+
+        async def main():
+            service = await _started(tmp_path, policy=FAST_RETRY)
+            outcome = await service.submit(mini_request())
+            await service.drain(timeout_s=5)
+            return service, outcome
+
+        service, outcome = run_async(main())
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert service.metrics.count("serve.retried") == 1
+        (record,) = _store_lines(tmp_path)
+        assert record["attempts"] == 2
+        assert "transient" in record["last_error"]
+
+    def test_retry_budget_exhausts(self, tmp_path, monkeypatch):
+        def always_down(request):
+            raise OSError("the disk is on fire")
+
+        counting_backend(monkeypatch, "model", fn=always_down)
+
+        async def main():
+            service = await _started(
+                tmp_path, policy=FAST_RETRY.with_overrides(max_attempts=2))
+            outcome = await service.submit(mini_request())
+            await service.drain(timeout_s=5)
+            return service, outcome
+
+        service, outcome = run_async(main())
+        assert not outcome.ok
+        assert not outcome.poisoned                # transient, not poison
+        assert outcome.attempts == 2
+        assert service.metrics.count("serve.failed") == 1
+
+
+class TestDrain:
+    def test_drain_rejects_new_misses_serves_caches(self, tmp_path,
+                                                    monkeypatch):
+        counting_backend(monkeypatch, "model")
+        warm = mini_request()
+        cold = EvalRequest(workload="cnn_lstm@frames=2+bins=32+hidden=32")
+
+        async def main():
+            service = await _started(tmp_path)
+            await service.submit(warm)             # computed, hot now
+            assert service.health()["status"] == "ok"
+            settled = await service.drain(timeout_s=5)
+            health = service.health()
+            hot = await service.submit(warm)       # hot tier still answers
+            miss = await service.submit(cold)      # new misses rejected
+            return settled, health, hot, miss
+
+        settled, health, hot, miss = run_async(main())
+        assert settled
+        assert health["status"] == "draining"
+        assert hot.ok and hot.source == "hot"
+        assert not miss.ok
+        assert miss.kind == "draining"
+
+    def test_drain_waits_for_inflight(self, tmp_path, monkeypatch):
+        release = threading.Event()
+
+        def slow(request):
+            release.wait(timeout=10)
+            return fake_result(request)
+
+        counting_backend(monkeypatch, "model", fn=slow)
+
+        async def main():
+            service = await _started(tmp_path)
+            task = asyncio.create_task(service.submit(mini_request()))
+            await asyncio.sleep(0.1)               # dispatched, blocked
+            drain = asyncio.create_task(service.drain(timeout_s=10))
+            await asyncio.sleep(0.05)
+            assert not drain.done()                # waiting on in-flight
+            release.set()
+            outcome = await task
+            settled = await drain
+            return settled, outcome
+
+        settled, outcome = run_async(main())
+        assert settled
+        assert outcome.ok                          # finished, not dropped
+
+
+class TestTwoClients:
+    def test_two_services_one_store(self, tmp_path, monkeypatch):
+        """Two service instances (two event loops, as two processes
+        would be) against one store root: one computes, the other reads
+        the committed record through the store tier, and concurrent
+        distinct keys from both all persist."""
+        calls = counting_backend(monkeypatch, "model")
+        shared = mini_request()
+        only_a = EvalRequest(workload="cnn_lstm@frames=2+bins=32+hidden=16")
+        only_b = EvalRequest(workload="cnn_lstm@frames=2+bins=32+hidden=32")
+
+        async def client(extra):
+            service = await _started(tmp_path)
+            outcomes = await asyncio.gather(service.submit(shared),
+                                            service.submit(extra))
+            await service.drain(timeout_s=5)
+            return outcomes
+
+        a_shared, a_extra = run_async(client(only_a))
+        b_shared, b_extra = run_async(client(only_b))
+        assert a_shared.source == "computed"
+        assert b_shared.source == "store"          # client 2 reads client 1
+        assert a_extra.ok and b_extra.ok
+        assert a_shared.result.to_dict() == b_shared.result.to_dict()
+        assert len(calls) == 3                     # shared computed once
+        assert len(_store_lines(tmp_path)) == 3
+
+
+class TestValidation:
+    def test_invalid_request_raises_value_error(self, tmp_path):
+        async def main():
+            service = await _started(tmp_path)
+            try:
+                with pytest.raises(ValueError, match="unknown"):
+                    await service.submit(
+                        EvalRequest(workload="no_such_net"))
+            finally:
+                await service.drain(timeout_s=5)
+
+        run_async(main())
+
+    def test_submit_before_start_raises(self, tmp_path):
+        async def main():
+            service = EvalService(tmp_path)
+            with pytest.raises(RuntimeError, match="not started"):
+                await service.submit(mini_request())
+
+        run_async(main())
+
+    def test_constructor_bounds(self, tmp_path):
+        with pytest.raises(ValueError, match="workers"):
+            EvalService(tmp_path, workers=-1)
+        with pytest.raises(ValueError, match="queue_max"):
+            EvalService(tmp_path, queue_max=0)
+
+    def test_outcome_and_job_shapes(self):
+        request = mini_request()
+        job = ServeJob(request)
+        assert job.key() == request.key()
+        assert job.label == request.label
+        assert job.to_dict() == request.to_dict()
+        assert not Outcome(key="k").ok
+        assert Outcome(key="k", result=fake_result(request)).ok
+
+
+class TestPoolMode:
+    def test_pool_workers_compute_and_commit(self, tmp_path):
+        """workers>=1 runs misses through the supervised WatchdogPool
+        (real subprocesses, unpatched backends)."""
+        request = mini_request()                   # model backend: fast
+
+        async def main():
+            service = await _started(tmp_path, workers=2,
+                                     policy=FAST_RETRY)
+            outcomes = await asyncio.gather(
+                *(service.submit(request) for _ in range(4)))
+            await service.drain(timeout_s=10)
+            return service, outcomes
+
+        service, outcomes = run_async(main())
+        assert all(o.ok for o in outcomes)
+        assert sorted(o.source for o in outcomes) == \
+            ["coalesced"] * 3 + ["computed"]
+        assert service.metrics.count("serve.evaluated") == 1
+        assert len(_store_lines(tmp_path)) == 1
