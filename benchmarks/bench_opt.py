@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Guided-search smoke: export ``BENCH_opt.json``.
+
+Runs the pinned successive-halving acceptance space
+(:func:`repro.opt.halving.smoke_space`) on a cold store and the
+accuracy x hardware co-search, asserting the ISSUE's acceptance bar in
+the process: the guided run must recover the exhaustive campaign's
+(cycles, TOPS/W) Pareto front bit-identically while evaluating at most
+40% of the grid, and the co-search must emit a nonempty
+accuracy-vs-TOPS/W frontier.  The artifact tracks guided-search cost
+(fresh evaluations, probes/s) across PRs the same way
+``BENCH_arch.json`` tracks the hardware-description axis::
+
+    PYTHONPATH=src python benchmarks/bench_opt.py
+    PYTHONPATH=src python benchmarks/bench_opt.py --out BENCH_opt_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The acceptance ceiling on guided cost (fraction of the grid).
+MAX_EVAL_FRACTION = 0.40
+
+
+def run_halving() -> dict:
+    from repro.dse.executor import run_campaign
+    from repro.dse.store import ResultStore
+    from repro.dse.summary import pareto_data
+    from repro.opt.halving import smoke_space, successive_halving
+
+    spec = smoke_space()
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        result = successive_halving(spec, ResultStore(Path(tmp) / "sh"))
+        elapsed = time.perf_counter() - start
+
+        # The reference: an exhaustive campaign over the same grid.
+        reference = ResultStore(Path(tmp) / "full")
+        run_campaign(spec, reference)
+        exhaustive = pareto_data(spec, reference,
+                                 x="cycles", y="tops_per_w")
+
+    guided_keys = [row["key"] for row in result.front]
+    exhaustive_keys = [row["key"] for row in exhaustive]
+    if guided_keys != exhaustive_keys:
+        raise RuntimeError(
+            f"guided front {guided_keys} != exhaustive {exhaustive_keys}")
+    fraction = result.counts["evaluated"] / result.grid_size
+    if fraction > MAX_EVAL_FRACTION:
+        raise RuntimeError(
+            f"guided run evaluated {fraction:.0%} of the grid "
+            f"(> {MAX_EVAL_FRACTION:.0%} ceiling)")
+    if result.counts["failed"]:
+        raise RuntimeError(f"{result.counts['failed']} probes failed")
+    return {
+        "spec": spec.name,
+        "grid_size": result.grid_size,
+        "sampled": len(result.sampled),
+        "rounds": len(result.rounds),
+        "probes": result.counts["probes"],
+        "evaluated": result.counts["evaluated"],
+        "eval_fraction": fraction,
+        "front_size": len(result.front),
+        "front_keys": guided_keys,
+        "elapsed_s": elapsed,
+        "probes_per_s": result.counts["probes"] / elapsed,
+    }
+
+
+def run_cosearch() -> dict:
+    from repro.dse.store import ResultStore
+    from repro.opt.cosearch import cosearch
+
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        result = cosearch(ResultStore(tmp))
+        elapsed = time.perf_counter() - start
+    if not result.front:
+        raise RuntimeError("co-search produced an empty frontier")
+    if result.counts["failed"]:
+        raise RuntimeError(f"{result.counts['failed']} probes failed")
+    return {
+        "network": result.config.network,
+        "archs": list(result.config.archs),
+        "moves": len(result.history),
+        "rows": len(result.rows),
+        "front_size": len(result.front),
+        "accuracy_span": [result.front[0]["accuracy"],
+                          result.front[-1]["accuracy"]],
+        "tops_per_w_span": [result.front[-1]["tops_per_w"],
+                            result.front[0]["tops_per_w"]],
+        "probes": result.counts["probes"],
+        "evaluated": result.counts["evaluated"],
+        "elapsed_s": elapsed,
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_opt.json"),
+                        metavar="FILE", help="output path")
+    args = parser.parse_args(argv)
+
+    halving = run_halving()
+    search = run_cosearch()
+    payload = {
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "machine_info": {"cpu_count": os.cpu_count()},
+        "halving": halving,
+        "cosearch": search,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out} (halving: {halving['evaluated']}/"
+          f"{halving['grid_size']} grid points evaluated, "
+          f"front={halving['front_size']}; cosearch: "
+          f"{search['front_size']}-point frontier)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

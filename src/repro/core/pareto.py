@@ -25,11 +25,34 @@ def pareto_front(
     cycles-vs-energy fronts with ``maximize=(False, False)``).  Output
     is sorted so the first objective goes from worst to best (for the
     default senses: ascending CR, non-increasing accuracy).
+
+    Degenerate inputs have pinned behavior (the guided-search archive
+    feeds this function with raw probe streams):
+
+    - a point whose objective values include ``None`` or NaN is
+      *dropped*, never ranked -- an unpriced metric must not read as
+      best-possible or as a comparison poison;
+    - exact ``(x, y)`` duplicates keep only the **first occurrence**
+      in input order (so re-adding an archived point is a no-op and
+      the surviving payload is deterministic).
     """
     sx = 1.0 if maximize[0] else -1.0
     sy = 1.0 if maximize[1] else -1.0
+    cleaned: list[tuple[float, float, T]] = []
+    seen: set[tuple[float, float]] = set()
+    for x, y, payload in points:
+        if x is None or y is None:  # unpriced metric: not rankable
+            continue
+        if x != x or y != y:  # NaN (the only value unequal to itself)
+            continue
+        if (x, y) in seen:  # duplicate coordinates: first one wins
+            continue
+        seen.add((x, y))
+        cleaned.append((x, y, payload))
     front: list[tuple[float, float, T]] = []
-    ordered = sorted(points, key=lambda p: (-sx * p[0], -sy * p[1]))
+    # Stable sort: ties keep input order, so the survivor of a
+    # same-coordinates-after-domination tie is deterministic.
+    ordered = sorted(cleaned, key=lambda p: (-sx * p[0], -sy * p[1]))
     best_second = float("-inf")
     for cr, accuracy, payload in ordered:
         if sy * accuracy > best_second:

@@ -37,12 +37,14 @@ def live_namespaces() -> frozenset[str]:
     """Every namespace the current source tree can still write to.
 
     The registered evaluation backends' fingerprints plus the
-    sim-validation campaign's suite fingerprint.
+    sim-validation campaign's suite fingerprint and the guided
+    co-search's probe namespace.
     """
     from repro.dse.simcampaign import sim_code_fingerprint
-    from repro.eval.fingerprints import live_fingerprints
+    from repro.eval.fingerprints import live_fingerprints, opt_fingerprint
 
-    return live_fingerprints() | frozenset((sim_code_fingerprint(),))
+    return live_fingerprints() | frozenset(
+        (sim_code_fingerprint(), opt_fingerprint()))
 
 
 @dataclass(frozen=True)

@@ -62,6 +62,7 @@ def make_record(
     fingerprint: str | None = None,
     attempts: int | None = None,
     last_error: str | None = None,
+    extra: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble one store record for ``point``'s result.
 
@@ -70,7 +71,10 @@ def make_record(
     ``attempts``/``last_error`` record a bumpy evaluation history (the
     executor's retry path sets them when a point needed more than one
     attempt); omitted, the keys stay out of the record so pre-existing
-    stores remain byte-compatible.
+    stores remain byte-compatible.  ``extra`` carries producer
+    provenance (the guided optimizer sets ``origin``/``round`` so mixed
+    guided+exhaustive stores stay auditable); like the retry keys it is
+    omitted entirely when not given.
     """
     payload = (result.to_dict() if isinstance(result, EvalResult)
                else dict(result))
@@ -86,4 +90,6 @@ def make_record(
     if attempts is not None:
         record["attempts"] = attempts
         record["last_error"] = last_error
+    if extra is not None:
+        record["extra"] = dict(extra)
     return record

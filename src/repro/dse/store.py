@@ -412,3 +412,7 @@ class StoreRouter:
 
     def result(self, point: Any) -> EvalResult | None:
         return self.for_point(point).result(point.key())
+
+    def record(self, point: Any) -> dict[str, Any] | None:
+        """The raw stored record for ``point`` (provenance and all)."""
+        return self.for_point(point).get(point.key())

@@ -48,6 +48,21 @@ METRICS: dict[str, Metric] = {
 _TABLE_COLUMNS = ("cycles", "energy", "runtime", "tops", "tops_per_w")
 
 
+def _provenance(record: Mapping[str, Any] | None) -> dict[str, Any]:
+    """Search provenance carried by a stored record's ``extra`` block.
+
+    Guided runs (:mod:`repro.opt`) stamp every probe with an ``origin``
+    (``opt:sh``, ``opt:cosearch``, ...) and the round index that
+    produced it; exhaustive-campaign records carry neither and read as
+    ``origin=None`` -- so mixed guided+exhaustive stores stay auditable
+    from the same JSON rows.
+    """
+    extra = record.get("extra") if record else None
+    if not isinstance(extra, Mapping):
+        return {"origin": None, "round": None}
+    return {"origin": extra.get("origin"), "round": extra.get("round")}
+
+
 def resolve_metric(name: str) -> Metric:
     if name not in METRICS:
         raise ValueError(
@@ -71,6 +86,7 @@ def summary_data(
     failures = failures or {}
     rows: list[dict[str, Any]] = []
     for point in spec.points():
+        record = router.record(point)
         result = router.result(point)
         entry: dict[str, Any] = {
             "key": point.key(),
@@ -80,6 +96,7 @@ def summary_data(
             "arch": point.arch,
             "stored": result is not None,
             "error": failures.get(point.key()),
+            **_provenance(record),
         }
         for name in _TABLE_COLUMNS:
             entry[name] = (None if result is None
@@ -151,6 +168,7 @@ def pareto_data(
     y: str = "energy",
 ) -> list[dict[str, Any]]:
     """JSON-able Pareto front rows over two named metrics."""
+    router = StoreRouter(store)
     return [
         {
             "key": point.key(),
@@ -158,6 +176,7 @@ def pareto_data(
             "network": point.network,
             "backend": point.backend,
             "arch": point.arch,
+            **_provenance(router.record(point)),
             x: vx,
             y: vy,
         }

@@ -57,6 +57,25 @@ def live_fingerprints() -> frozenset[str]:
 
 
 @lru_cache(maxsize=1)
+def opt_fingerprint() -> str:
+    """Digest namespacing the guided co-search's probe records.
+
+    Co-search probes (:mod:`repro.opt.cosearch`) price *strategies*,
+    not plain eval requests, so they live in their own ``opt-``
+    namespace.  Their numbers come from the same model/accelerator
+    source as an evaluation (:func:`code_fingerprint`) plus the tiny
+    executable networks and fidelity proxies feeding the accuracy side
+    (:mod:`repro.models`) -- editing either invalidates the cache.
+    """
+    import repro.models
+
+    digest = hashlib.sha256()
+    digest.update(code_fingerprint().encode("utf-8"))
+    _digest_tree(digest, repro.models)
+    return "opt-" + digest.hexdigest()[:12]
+
+
+@lru_cache(maxsize=1)
 def sim_backend_fingerprint() -> str:
     """Digest of the source feeding simulator-backed evaluations.
 

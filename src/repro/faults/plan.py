@@ -18,7 +18,7 @@ Spec grammar (clauses separated by commas)::
              | "attempt<" INT      (fire only on attempts below N)
              | "key=" PREFIX       (fire only on matching config-hash keys)
              | "site=" SITE        (override the kind's default site)
-    SITE    := "eval" | "gemm" | "store"
+    SITE    := "eval" | "gemm" | "store" | "serve" | "opt"
 
 Examples::
 
@@ -44,8 +44,10 @@ FAULT_KINDS = ("crash", "hang", "slow_io", "torn_write", "die")
 #: Injection sites instrumented across the stack.  ``serve`` is the
 #: evaluation service's request path (:mod:`repro.serve`): ``slow_io``
 #: clauses stall its store reads, process-breaking kinds fire inside
-#: its worker pool.
-FAULT_SITES = ("eval", "gemm", "store", "serve")
+#: its worker pool.  ``opt`` is the guided optimizer's probe path
+#: (:mod:`repro.opt`): faults fire inside the objective callback,
+#: exercising its retry loop.
+FAULT_SITES = ("eval", "gemm", "store", "serve", "opt")
 
 #: Where each kind fires unless the clause names a site explicitly.
 DEFAULT_SITES = {
@@ -59,10 +61,10 @@ DEFAULT_SITES = {
 #: Sites a kind is allowed at (``torn_write`` only makes sense where
 #: bytes hit disk).
 ALLOWED_SITES = {
-    "crash": ("eval", "gemm", "serve"),
-    "hang": ("eval", "gemm", "serve"),
-    "die": ("eval", "gemm", "serve"),
-    "slow_io": ("eval", "gemm", "store", "serve"),
+    "crash": ("eval", "gemm", "serve", "opt"),
+    "hang": ("eval", "gemm", "serve", "opt"),
+    "die": ("eval", "gemm", "serve", "opt"),
+    "slow_io": ("eval", "gemm", "store", "serve", "opt"),
     "torn_write": ("store",),
 }
 

@@ -1,0 +1,278 @@
+"""Successive halving over a sampled campaign space.
+
+Draw a deterministic sample from a :class:`repro.dse.CampaignSpec`
+grid, probe every candidate, keep the best ``1/eta`` fraction under a
+named ranking metric, and repeat until one survivor set remains.
+Because every full-fidelity probe lands in the shared result store,
+the search costs only the *fresh* evaluations -- round-two probes of
+round-one survivors are pure cache hits, and a halving run launched
+after an exhaustive campaign evaluates nothing at all.
+
+An optional fidelity ladder (``sim_contexts``) probes early rounds of
+simulator-backed points at reduced ``sim_max_contexts``; reduced-
+fidelity records get their own cache keys (options fold into the key)
+and are excluded from the reported Pareto archive, so cheap rungs
+never masquerade as full-fidelity results.  Model-backed points always
+probe at default options -- their keys must match exhaustive runs.
+
+The Pareto front is taken over *every* full-fidelity probe the run
+made (the archive), not just the last survivors: round one already
+prices the whole sample, so the front loses nothing to the halving.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.pareto import pareto_front
+from repro.dse.retry import RetryPolicy
+from repro.dse.spec import CampaignSpec, EvalPoint
+from repro.dse.store import ResultStore
+from repro.dse.summary import Metric, resolve_metric
+from repro.eval.request import MODEL_BACKEND, EvalOptions
+from repro.obs import counter, trace
+from repro.opt.objective import Objective, Probe
+
+#: Provenance tag stamped into every record a halving run writes.
+SH_ORIGIN = "opt:sh"
+
+#: Pinned seed/sample for the acceptance smoke: with this draw the
+#: sample contains every point of the exhaustive Pareto front, so the
+#: guided run recovers it bit-identically from 12 of 36 grid points.
+SMOKE_SEED = 73
+SMOKE_SAMPLE = 12
+
+
+def smoke_space(name: str = "opt-smoke") -> CampaignSpec:
+    """The pinned ~3-axis acceptance space (36 points, all model-backed).
+
+    Six accelerators x three CNN-LSTM parametrizations of escalating
+    size x two arch design points.  Small enough for CI (every point
+    evaluates in milliseconds), rich enough that the
+    (cycles, TOPS/W) front is a genuine 3-point trade-off curve.
+    """
+    return CampaignSpec(
+        name=name,
+        accelerators=("SCNN", "Stripes", "Pragmatic", "Bitlet", "HUAA",
+                      "BitWave"),
+        networks=("cnn_lstm@frames=2+bins=32+hidden=32",
+                  "cnn_lstm@frames=32+hidden=256",
+                  "cnn_lstm@frames=64"),
+        archs=("bitwave-16nm", "bitwave-dense-16nm"),
+    )
+
+
+@dataclass(frozen=True)
+class HalvingConfig:
+    """Knobs of one successive-halving run (all deterministic)."""
+
+    #: Ranking metric for promotion between rounds.
+    metric: str = "cycles"
+    #: Archive/front objectives.
+    x: str = "cycles"
+    y: str = "tops_per_w"
+    seed: int = SMOKE_SEED
+    #: Candidates drawn from the grid (0 = the whole grid).
+    sample: int = SMOKE_SAMPLE
+    #: Survivor fraction: each round keeps ``ceil(n / eta)``.
+    eta: int = 2
+    min_survivors: int = 1
+    #: Fidelity ladder for sim-backed points: round ``r`` probes with
+    #: ``sim_max_contexts=sim_contexts[r]`` while the ladder lasts;
+    #: rounds past its end (and model-backed points always) probe at
+    #: full fidelity.  Empty = no ladder.
+    sim_contexts: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        resolve_metric(self.metric)
+        resolve_metric(self.x)
+        resolve_metric(self.y)
+        if self.sample < 0:
+            raise ValueError(f"sample must be >= 0, got {self.sample}")
+        if self.eta < 2:
+            raise ValueError(f"eta must be >= 2, got {self.eta}")
+        if self.min_survivors < 1:
+            raise ValueError(
+                f"min_survivors must be >= 1, got {self.min_survivors}")
+        object.__setattr__(self, "sim_contexts", tuple(self.sim_contexts))
+
+
+@dataclass(frozen=True)
+class HalvingResult:
+    """Everything a halving run decided, probed, and found."""
+
+    spec_name: str
+    config: HalvingConfig
+    grid_size: int
+    #: Request keys of the sampled candidates, in draw order.
+    sampled: tuple[str, ...]
+    #: Per-round summaries: candidates in, survivors out.
+    rounds: tuple[dict[str, Any], ...]
+    #: Keys of the final survivor set, best-ranked first.
+    survivors: tuple[str, ...]
+    #: Every probed request key, in call order (cache hits included).
+    trajectory: tuple[str, ...]
+    #: Pareto rows over (x, y) across all full-fidelity probes.
+    front: tuple[dict[str, Any], ...]
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec_name,
+            "origin": SH_ORIGIN,
+            "metric": self.config.metric,
+            "objectives": [self.config.x, self.config.y],
+            "seed": self.config.seed,
+            "grid_size": self.grid_size,
+            "sampled": list(self.sampled),
+            "rounds": [dict(r) for r in self.rounds],
+            "survivors": list(self.survivors),
+            "trajectory": list(self.trajectory),
+            "front": [dict(row) for row in self.front],
+            "counts": dict(self.counts),
+        }
+
+
+def sample_candidates(spec: CampaignSpec, seed: int,
+                      sample: int) -> list[EvalPoint]:
+    """The deterministic candidate draw a seed names.
+
+    The pool is sorted by request key before sampling, so the draw
+    depends only on ``(grid contents, seed, sample)`` -- never on grid
+    expansion order or ``PYTHONHASHSEED``.
+    """
+    pool = sorted(spec.points(), key=lambda p: p.key())
+    if sample == 0 or sample >= len(pool):
+        return pool
+    return random.Random(seed).sample(pool, sample)
+
+
+def _rank(probes: list[Probe], metric: Metric) -> list[Probe]:
+    """Best-first order under ``metric``; failed/unpriced probes rank
+    last, ties break by request key -- fully deterministic."""
+    def sort_key(probe: Probe) -> tuple[int, float, str]:
+        value = (None if probe.result is None
+                 else metric.extract(probe.result))
+        if value is None or value != value:
+            return (1, 0.0, probe.request.key())
+        ranked = -value if metric.maximize else value
+        return (0, ranked, probe.request.key())
+    return sorted(probes, key=sort_key)
+
+
+def _front_rows(archive: list[Probe], config: HalvingConfig,
+                ) -> tuple[dict[str, Any], ...]:
+    """Pareto rows (shaped like ``dse.summary.pareto_data``) over the
+    full-fidelity archive."""
+    mx, my = resolve_metric(config.x), resolve_metric(config.y)
+    points = []
+    for probe in archive:
+        if probe.result is None:
+            continue
+        vx, vy = mx.extract(probe.result), my.extract(probe.result)
+        if vx is None or vy is None:
+            continue
+        points.append((vx, vy, probe.point))
+    front = pareto_front(points, maximize=(mx.maximize, my.maximize))
+    return tuple(
+        {
+            "key": point.key(),
+            "config": point.config_label,
+            "network": point.network,
+            "backend": point.backend,
+            "arch": point.arch,
+            config.x: vx,
+            config.y: vy,
+        }
+        for vx, vy, point in front
+    )
+
+
+def successive_halving(
+    spec: CampaignSpec,
+    store: ResultStore,
+    config: HalvingConfig | None = None,
+    policy: RetryPolicy | None = None,
+) -> HalvingResult:
+    """Run seeded successive halving over ``spec``'s grid.
+
+    Deterministic end to end: the same ``(spec, config)`` replays the
+    identical candidate draw, probe trajectory, and survivor sets --
+    whatever the store already holds only changes which probes are
+    cache hits, never which probes are made.
+    """
+    config = config or HalvingConfig()
+    policy = policy or spec.retry or RetryPolicy()
+    objective = Objective(store, origin=SH_ORIGIN, policy=policy)
+    metric = resolve_metric(config.metric)
+    grid_size = len(spec.points())
+    candidates = sample_candidates(spec, config.seed, config.sample)
+    counter("opt.grid.size", n=grid_size, origin=SH_ORIGIN)
+    counter("opt.sampled", n=len(candidates), origin=SH_ORIGIN)
+
+    sampled = tuple(point.key() for point in candidates)
+    archive: list[Probe] = []
+    archived: set[str] = set()
+    rounds: list[dict[str, Any]] = []
+    round_index = 0
+    while True:
+        with trace("opt.round", origin=SH_ORIGIN, round=round_index,
+                   candidates=len(candidates)):
+            probes = []
+            for point in candidates:
+                options = _round_options(point, round_index, config)
+                probe = objective.probe(point, round_index=round_index,
+                                        options=options)
+                probes.append(probe)
+                if options is None and probe.ok \
+                        and probe.request.key() not in archived:
+                    archived.add(probe.request.key())
+                    archive.append(probe)
+            ranked = _rank(probes, metric)
+            keep = max((len(ranked) + config.eta - 1) // config.eta,
+                       config.min_survivors)
+            survivors = ranked[:keep]
+        rounds.append({
+            "round": round_index,
+            "candidates": len(candidates),
+            "survivors": [p.point.key() for p in survivors],
+            "fidelity": ("full" if not _laddered(round_index, config)
+                         else f"sim_max_contexts="
+                              f"{config.sim_contexts[round_index]}"),
+        })
+        candidates = [probe.point for probe in survivors]
+        round_index += 1
+        if len(candidates) <= config.min_survivors:
+            break
+    counter("opt.rounds", n=len(rounds), origin=SH_ORIGIN)
+
+    return HalvingResult(
+        spec_name=spec.name,
+        config=config,
+        grid_size=grid_size,
+        sampled=sampled,
+        rounds=tuple(rounds),
+        survivors=tuple(point.key() for point in candidates),
+        trajectory=tuple(objective.trajectory),
+        front=_front_rows(archive, config),
+        counts=objective.counts(),
+    )
+
+
+def _laddered(round_index: int, config: HalvingConfig) -> bool:
+    return round_index < len(config.sim_contexts)
+
+
+def _round_options(point: EvalPoint, round_index: int,
+                   config: HalvingConfig) -> EvalOptions | None:
+    """The fidelity override for this probe (``None`` = full fidelity).
+
+    Only simulator-backed points ride the ladder: model-backed probes
+    must keep default options so their cache keys match exhaustive
+    campaign records.
+    """
+    if point.backend == MODEL_BACKEND or not _laddered(round_index, config):
+        return None
+    return EvalOptions(sim_max_contexts=config.sim_contexts[round_index])

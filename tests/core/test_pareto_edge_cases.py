@@ -73,3 +73,37 @@ class TestSenses:
         front = pareto_front(points, maximize=(False, False))
         assert len(front) == 1
         assert front[0][2] == "z"
+
+
+class TestCleaning:
+    """Pinned pre-filter semantics: unrankable points (``None``/NaN in
+    either objective) are dropped before dominance, and exact
+    coordinate duplicates collapse to the first input occurrence --
+    what the guided-search archive (``repro.opt``) relies on."""
+
+    def test_none_coordinates_are_dropped(self):
+        points = [(1.0, None, "unpriced"), (None, 1.0, "unpriced-too"),
+                  (2.0, 2.0, "real")]
+        assert pareto_front(points) == [(2.0, 2.0, "real")]
+
+    def test_nan_coordinates_are_dropped(self):
+        nan = float("nan")
+        points = [(nan, 1.0, "bad-x"), (1.0, nan, "bad-y"),
+                  (2.0, 2.0, "real")]
+        assert pareto_front(points) == [(2.0, 2.0, "real")]
+
+    def test_all_points_invalid_gives_empty_front(self):
+        nan = float("nan")
+        assert pareto_front([(None, 1.0, "a"), (nan, nan, "b")]) == []
+
+    def test_exact_duplicate_keeps_first_input_occurrence(self):
+        points = [(1.0, 1.0, "first"), (1.0, 1.0, "second"),
+                  (1.0, 1.0, "third")]
+        assert pareto_front(points) == [(1.0, 1.0, "first")]
+
+    def test_dedupe_is_input_order_not_sort_order(self):
+        # "late" sorts before "early" lexically; input order must win.
+        points = [(1.0, 1.0, "early"), (0.5, 0.5, "worse"),
+                  (1.0, 1.0, "late")]
+        front = pareto_front(points)
+        assert front == [(1.0, 1.0, "early")]

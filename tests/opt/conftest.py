@@ -1,0 +1,16 @@
+"""Shared hygiene for the guided-search tests: no fault plan, point
+context, or trace sink leaks into (or out of) any test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults, obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_hooks():
+    yield
+    faults.configure(None)
+    faults.clear_point_context()
+    obs.configure(None)

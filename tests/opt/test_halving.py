@@ -1,0 +1,151 @@
+"""Successive halving: determinism, cache sharing, and the acceptance
+pin -- the seeded run over the pinned smoke space recovers the
+exhaustive campaign's (cycles, TOPS/W) Pareto front bit-identically
+while evaluating at most 40% of the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.dse.executor import run_campaign
+from repro.dse.retry import RetryPolicy
+from repro.dse.spec import EvalPoint
+from repro.dse.store import ResultStore
+from repro.dse.summary import pareto_data
+from repro.eval.request import EvalOptions
+from repro.opt.halving import (
+    HalvingConfig,
+    _round_options,
+    sample_candidates,
+    smoke_space,
+    successive_halving,
+)
+
+
+@pytest.fixture(scope="module")
+def fresh_run(tmp_path_factory):
+    """One seeded halving run on a cold store (shared: it is the
+    expensive part of this module)."""
+    store = ResultStore(tmp_path_factory.mktemp("sh-fresh"))
+    result = successive_halving(smoke_space(), store)
+    return store, result
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory_and_front(self, fresh_run,
+                                                 tmp_path):
+        _, first = fresh_run
+        second = successive_halving(
+            smoke_space(), ResultStore(tmp_path / "replay"))
+        assert second.sampled == first.sampled
+        assert second.trajectory == first.trajectory
+        assert second.rounds == first.rounds
+        assert second.survivors == first.survivors
+        assert second.front == first.front
+
+    def test_candidate_draw_ignores_grid_expansion_order(self):
+        spec = smoke_space()
+        shuffled = replace(
+            spec,
+            accelerators=tuple(reversed(spec.accelerators)),
+            networks=tuple(reversed(spec.networks)))
+        drawn = sample_candidates(spec, seed=73, sample=12)
+        redrawn = sample_candidates(shuffled, seed=73, sample=12)
+        assert [p.key() for p in drawn] == [p.key() for p in redrawn]
+
+    def test_different_seed_different_draw(self):
+        spec = smoke_space()
+        a = [p.key() for p in sample_candidates(spec, seed=73, sample=12)]
+        b = [p.key() for p in sample_candidates(spec, seed=74, sample=12)]
+        assert a != b
+
+
+class TestCacheSharing:
+    def test_halving_after_exhaustive_evaluates_nothing(self, fresh_run,
+                                                        tmp_path):
+        _, reference = fresh_run
+        store = ResultStore(tmp_path / "warm")
+        run_campaign(smoke_space(), store)
+        result = successive_halving(smoke_space(), store)
+        assert result.counts["evaluated"] == 0
+        assert result.counts["saved"] == result.counts["probes"]
+        # The warm trajectory and front match the cold run exactly:
+        # caching changes cost, never decisions.
+        assert result.trajectory == reference.trajectory
+        assert result.front == reference.front
+
+    def test_rerun_on_own_store_is_all_hits(self, fresh_run):
+        store, first = fresh_run
+        again = successive_halving(smoke_space(), store)
+        assert again.counts["evaluated"] == 0
+        assert again.trajectory == first.trajectory
+
+
+class TestAcceptance:
+    """ISSUE pin: guided run == exhaustive front at <= 40% of the cost."""
+
+    def test_front_matches_exhaustive_bit_identically(self, fresh_run,
+                                                      tmp_path):
+        _, result = fresh_run
+        spec = smoke_space()
+        store = ResultStore(tmp_path / "exhaustive")
+        run_campaign(spec, store)
+        exhaustive = pareto_data(spec, store, x="cycles", y="tops_per_w")
+        assert [r["key"] for r in result.front] == \
+            [r["key"] for r in exhaustive]
+        for guided, full in zip(result.front, exhaustive):
+            assert guided["cycles"] == full["cycles"]
+            assert guided["tops_per_w"] == full["tops_per_w"]
+
+    def test_evaluations_at_most_forty_percent_of_grid(self, fresh_run):
+        _, result = fresh_run
+        assert result.grid_size == 36
+        assert result.counts["failed"] == 0
+        assert result.counts["evaluated"] / result.grid_size <= 0.40
+
+    def test_round_schedule_halves_to_one_survivor(self, fresh_run):
+        _, result = fresh_run
+        assert [r["candidates"] for r in result.rounds] == [12, 6, 3, 2]
+        assert len(result.survivors) == 1
+        # The winner survives every round after its first appearance.
+        winner = result.survivors[0]
+        assert all(winner in r["survivors"] for r in result.rounds)
+
+
+class TestFidelityLadder:
+    def test_model_points_never_ride_the_ladder(self):
+        config = HalvingConfig(sim_contexts=(4, 16))
+        point = EvalPoint(accelerator="BitWave", network="cnn_lstm")
+        assert _round_options(point, 0, config) is None
+
+    def test_sim_points_probe_reduced_then_full(self):
+        config = HalvingConfig(sim_contexts=(4, 16))
+        point = EvalPoint(accelerator="BitWave", network="cnn_lstm",
+                          backend="sim-vectorized")
+        assert _round_options(point, 0, config) == \
+            EvalOptions(sim_max_contexts=4)
+        assert _round_options(point, 1, config) == \
+            EvalOptions(sim_max_contexts=16)
+        assert _round_options(point, 2, config) is None
+
+
+class TestConfigValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            HalvingConfig(eta=1)
+        with pytest.raises(ValueError):
+            HalvingConfig(sample=-1)
+        with pytest.raises(ValueError):
+            HalvingConfig(min_survivors=0)
+        with pytest.raises(ValueError):
+            HalvingConfig(metric="nope")
+
+    def test_retry_policy_defaults_from_spec(self, tmp_path):
+        spec = replace(smoke_space(), retry=RetryPolicy(max_attempts=5))
+        result = successive_halving(
+            spec, ResultStore(tmp_path / "policy"),
+            HalvingConfig(sample=2))
+        assert result.counts["failed"] == 0

@@ -1,0 +1,158 @@
+"""The Objective adapter: cache sharing, retries, and provenance.
+
+Acceptance pins: a probe of a point an exhaustive campaign already
+stored evaluates nothing; an injected ``crash:site=opt`` plan is healed
+by the retry loop; poison error types fail fast; and every record a
+guided probe writes carries ``origin``/``round`` provenance that the
+summary and Pareto JSON rows surface.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.dse.executor import run_campaign
+from repro.dse.spec import CampaignSpec, EvalPoint
+from repro.dse.store import ResultStore
+from repro.dse.summary import pareto_data, summary_data
+from repro.opt.objective import Objective
+
+POINT = EvalPoint(accelerator="BitWave",
+                  network="cnn_lstm@frames=2+bins=32+hidden=32")
+
+
+def _store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store")
+
+
+class TestCaching:
+    def test_second_probe_is_a_store_hit(self, tmp_path):
+        objective = Objective(_store(tmp_path), origin="opt:test")
+        first = objective.probe(POINT)
+        second = objective.probe(POINT)
+        assert first.ok and not first.cached and first.attempts == 1
+        assert second.ok and second.cached and second.attempts == 0
+        assert second.result == first.result
+        assert objective.counts() == {
+            "probes": 2, "evaluated": 1, "saved": 1, "failed": 0}
+
+    def test_exhaustive_run_prewarms_guided_probes(self, tmp_path):
+        """The cache-sharing contract: guided probes of points an
+        exhaustive campaign stored evaluate nothing."""
+        store = _store(tmp_path)
+        spec = CampaignSpec(name="warm", accelerators=("BitWave",),
+                            networks=(POINT.network,))
+        run = run_campaign(spec, store)
+        assert run.evaluated == 1
+        objective = Objective(store, origin="opt:test")
+        probe = objective.probe(POINT)
+        assert probe.ok and probe.cached
+        assert objective.evaluated == 0
+
+    def test_guided_probe_prewarms_exhaustive_run(self, tmp_path):
+        store = _store(tmp_path)
+        Objective(store, origin="opt:test").probe(POINT)
+        spec = CampaignSpec(name="warm", accelerators=("BitWave",),
+                            networks=(POINT.network,))
+        run = run_campaign(spec, store)
+        assert run.evaluated == 0 and run.cached == 1
+
+
+class TestFailureTolerance:
+    def test_injected_crash_is_healed_by_retry(self, tmp_path):
+        faults.configure("seed=7,crash:1:attempt<1:site=opt")
+        objective = Objective(_store(tmp_path), origin="opt:test",
+                              sleep=False)
+        probe = objective.probe(POINT)
+        assert probe.ok and probe.attempts == 2
+        record = objective.router.record(POINT)
+        assert record["attempts"] == 2
+        assert "InjectedFault" in record["last_error"]
+
+    def test_retry_budget_exhausted_returns_failed_probe(self, tmp_path):
+        faults.configure("seed=7,crash:1:site=opt")  # every attempt
+        objective = Objective(_store(tmp_path), origin="opt:test",
+                              sleep=False)
+        probe = objective.probe(POINT)
+        assert not probe.ok and probe.result is None
+        assert probe.attempts == objective.policy.max_attempts
+        assert "InjectedFault" in probe.error
+        assert objective.failed == 1
+        # Nothing broken was persisted: the store has no record.
+        assert objective.router.record(POINT) is None
+
+    def test_poison_error_fails_fast(self, tmp_path, monkeypatch):
+        class _Poison:
+            def evaluate(self, request):
+                raise ValueError("deterministic bug")
+
+            def fingerprint(self):
+                return "poison"
+
+        monkeypatch.setattr("repro.opt.objective.get_backend",
+                            lambda name: _Poison())
+        objective = Objective(_store(tmp_path), origin="opt:test",
+                              sleep=False)
+        probe = objective.probe(POINT)
+        assert not probe.ok and probe.attempts == 1
+        assert probe.error.startswith("ValueError")
+
+    def test_transient_error_is_retried(self, tmp_path, monkeypatch):
+        from repro.eval.registry import get_backend
+        real = get_backend(POINT.backend)
+        calls = []
+
+        class _Flaky:
+            def evaluate(self, request):
+                calls.append(request.key())
+                if len(calls) == 1:
+                    raise RuntimeError("weather")
+                return real.evaluate(request)
+
+            def fingerprint(self):
+                return real.fingerprint()
+
+        monkeypatch.setattr("repro.opt.objective.get_backend",
+                            lambda name: _Flaky())
+        objective = Objective(_store(tmp_path), origin="opt:test",
+                              sleep=False)
+        probe = objective.probe(POINT)
+        assert probe.ok and probe.attempts == 2 and len(calls) == 2
+
+
+class TestProvenance:
+    def test_record_extra_carries_origin_and_round(self, tmp_path):
+        objective = Objective(_store(tmp_path), origin="opt:test")
+        objective.probe(POINT, round_index=3)
+        record = objective.router.record(POINT)
+        assert record["extra"] == {"origin": "opt:test", "round": 3}
+
+    def test_summary_and_pareto_rows_surface_provenance(self, tmp_path):
+        store = _store(tmp_path)
+        spec = CampaignSpec(name="prov", accelerators=("BitWave",),
+                            networks=(POINT.network,))
+        Objective(store, origin="opt:test").probe(POINT)
+        (row,) = summary_data(spec, store)
+        assert row["origin"] == "opt:test" and row["round"] == 0
+        (prow,) = pareto_data(spec, store, x="cycles", y="tops_per_w")
+        assert prow["origin"] == "opt:test" and prow["round"] == 0
+
+    def test_exhaustive_records_read_as_origin_none(self, tmp_path):
+        store = _store(tmp_path)
+        spec = CampaignSpec(name="prov", accelerators=("BitWave",),
+                            networks=(POINT.network,))
+        run_campaign(spec, store)
+        (row,) = summary_data(spec, store)
+        assert row["origin"] is None and row["round"] is None
+
+
+class TestFidelityOptions:
+    def test_options_change_the_cache_key(self, tmp_path):
+        from repro.eval.request import EvalOptions
+        objective = Objective(_store(tmp_path), origin="opt:test")
+        default = objective.request_for(POINT)
+        reduced = objective.request_for(
+            POINT, EvalOptions(sim_max_contexts=8))
+        assert default.key() != reduced.key()
+        assert default.key() == POINT.key()
