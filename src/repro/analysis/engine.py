@@ -1,0 +1,195 @@
+"""The lint engine: rule registry, allowlists, and the check runner.
+
+A *rule* inspects the parsed source tree (through a shared
+:class:`CheckContext`) and yields :class:`Violation` findings.  Rules
+are registered declaratively (:func:`register_rule`) and each carries
+its own **allowlist**: ``(module, reason)`` pairs that suppress the
+rule in exactly that module, with the justification checked in next to
+the rule so an exemption can never outlive its explanation silently --
+an allowlist entry whose module exists in the tree but triggers
+nothing is itself reported as *stale*, keeping the exemption set tight
+as violations get fixed.
+
+``python -m repro.analysis check`` drives :func:`run_checks` and exits
+nonzero on any finding; tests drive individual rules over synthetic
+package trees (fixture snippets) through the same context object.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.analysis.graph import ImportGraph, build_graph
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding of one rule, anchored to a source line."""
+
+    rule: str
+    module: str
+    path: str
+    line: int
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "module": self.module,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Allow:
+    """One justified exemption: suppress a rule inside one module."""
+
+    module: str
+    reason: str
+
+    def __post_init__(self) -> None:
+        if not self.reason.strip():
+            raise ValueError(
+                f"allowlist entry for {self.module} needs a justification")
+
+
+class CheckContext:
+    """Shared parse state one check run hands to every rule."""
+
+    def __init__(self, graph: ImportGraph) -> None:
+        self.graph = graph
+        self._trees: dict[str, ast.Module] = {}
+
+    def modules(self) -> tuple[str, ...]:
+        return self.graph.module_names()
+
+    def path(self, module: str) -> Path:
+        return self.graph.modules[module].path
+
+    def tree(self, module: str) -> ast.Module:
+        """The (cached) parsed AST of one module."""
+        if module not in self._trees:
+            path = self.path(module)
+            self._trees[module] = ast.parse(
+                path.read_text(encoding="utf-8"), filename=str(path))
+        return self._trees[module]
+
+    def violation(self, rule: str, module: str, line: int,
+                  message: str) -> Violation:
+        return Violation(rule=rule, module=module,
+                         path=str(self.path(module)), line=line,
+                         message=message)
+
+
+Checker = Callable[["LintRule", CheckContext], Iterator[Violation]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One named invariant plus its justified exemptions."""
+
+    name: str
+    description: str
+    checker: Checker
+    allow: tuple[Allow, ...] = ()
+
+    def allowed_modules(self) -> frozenset[str]:
+        return frozenset(entry.module for entry in self.allow)
+
+    def check(self, ctx: CheckContext) -> Iterator[Violation]:
+        return self.checker(self, ctx)
+
+
+_RULES: dict[str, LintRule] = {}
+
+
+def register_rule(rule: LintRule) -> LintRule:
+    if rule.name in _RULES:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _RULES[rule.name] = rule
+    return rule
+
+
+def all_rules() -> tuple[LintRule, ...]:
+    """Every registered rule, in registration order."""
+    import repro.analysis.rules  # noqa: F401  (registers on import)
+
+    return tuple(_RULES.values())
+
+
+def get_rule(name: str) -> LintRule:
+    rules = {rule.name: rule for rule in all_rules()}
+    if name not in rules:
+        raise ValueError(f"unknown rule {name!r}; one of {tuple(rules)}")
+    return rules[name]
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one ``check`` run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0  #: findings an allowlist entry absorbed
+    rules: tuple[str, ...] = ()
+    modules: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "modules": self.modules,
+            "rules": list(self.rules),
+            "suppressed": self.suppressed,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def run_rule(rule: LintRule, ctx: CheckContext,
+             report: CheckReport) -> None:
+    """Run one rule, folding allowlist suppression into the report."""
+    allowed = rule.allowed_modules()
+    used: set[str] = set()
+    for violation in rule.check(ctx):
+        if violation.module in allowed:
+            used.add(violation.module)
+            report.suppressed += 1
+        else:
+            report.violations.append(violation)
+    for entry in rule.allow:
+        if entry.module in used or entry.module not in ctx.graph:
+            continue
+        report.violations.append(ctx.violation(
+            rule.name, entry.module, 1,
+            f"stale allowlist entry: {entry.module} no longer triggers "
+            f"this rule (was allowed because: {entry.reason}); remove "
+            f"the exemption"))
+
+
+def run_checks(
+    root: str | Path | None = None,
+    rules: Iterable[LintRule] | None = None,
+    graph: ImportGraph | None = None,
+) -> CheckReport:
+    """Run every (or the given) rule over one package tree."""
+    if graph is None:
+        graph = build_graph(root)
+    ctx = CheckContext(graph)
+    selected = tuple(rules) if rules is not None else all_rules()
+    report = CheckReport(rules=tuple(rule.name for rule in selected),
+                         modules=len(graph.modules))
+    for rule in selected:
+        run_rule(rule, ctx, report)
+    report.violations.sort(
+        key=lambda v: (v.path, v.line, v.rule, v.message))
+    return report

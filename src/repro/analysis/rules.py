@@ -1,0 +1,432 @@
+"""The built-in lint rules: the repository's invariants, executable.
+
+Each rule encodes a convention the repo previously enforced only by
+review and after-the-fact test pinning:
+
+- ``layering``          -- the numeric layers (``core`` / ``sim`` /
+  ``model`` / ``arch``) must not import the operational layers
+  (``dse`` / ``eval`` / ``opt`` / ``serve``), in either top-level or
+  deferred form;
+- ``cycles``            -- no module-scope import cycles anywhere
+  (intentional back-references must be deferred into functions);
+- ``determinism``       -- no wall-clock or unseeded randomness
+  (``time.time()``, ``random.*``, ``np.random.*``) outside the
+  allowlisted timestamp/rng sites, so identical inputs keep producing
+  identical records;
+- ``lock-discipline``   -- ``fcntl`` only in the store module, and no
+  write-mode file opens in the campaign/serving/optimizer layers
+  outside the store's locked append path;
+- ``frozen-mutation``   -- ``object.__setattr__`` (the frozen-dataclass
+  escape hatch) only inside ``__post_init__``-style constructors;
+- ``obs-names``         -- every span/counter/gauge name literal obeys
+  the ``layer.noun[.verb]`` grammar and the checked-in registry
+  (:mod:`repro.analysis.obsnames`).
+
+Allowlist entries carry their justification inline; a stale entry (the
+module stopped triggering the rule) is itself reported, so the
+exemption set can only shrink as the tree heals.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import (
+    Allow,
+    CheckContext,
+    LintRule,
+    Violation,
+    register_rule,
+)
+from repro.analysis.obsnames import (
+    COUNTER_NAMES,
+    GAUGE_NAMES,
+    SPAN_NAMES,
+    valid_grammar,
+)
+
+# ---------------------------------------------------------------------
+# layering + cycles (graph-level rules)
+# ---------------------------------------------------------------------
+
+#: Layers that feed cached numbers: they may use utilities and obs, but
+#: never the operational machinery built on top of them.
+RESTRICTED_LAYERS = ("repro.arch", "repro.core", "repro.model", "repro.sim")
+
+#: The operational layers the numeric layers must stay below.
+FORBIDDEN_TARGETS = ("repro.dse", "repro.eval", "repro.opt", "repro.serve")
+
+
+def _in_package(module: str, package: str) -> bool:
+    return module == package or module.startswith(package + ".")
+
+
+def _check_layering(rule: LintRule,
+                    ctx: CheckContext) -> Iterator[Violation]:
+    for module in ctx.modules():
+        if not any(_in_package(module, layer)
+                   for layer in RESTRICTED_LAYERS):
+            continue
+        for edge in ctx.graph.modules[module].edges:
+            hit = [target for target in FORBIDDEN_TARGETS
+                   if _in_package(edge.target, target)]
+            if hit:
+                kind = "deferred " if edge.deferred else ""
+                yield ctx.violation(
+                    rule.name, module, edge.line,
+                    f"{module} ({kind}import) depends on {edge.target}: "
+                    f"the numeric layers must not import the "
+                    f"operational layers {FORBIDDEN_TARGETS}")
+
+
+def _check_cycles(rule: LintRule, ctx: CheckContext) -> Iterator[Violation]:
+    for component in ctx.graph.cycles():
+        yield ctx.violation(
+            rule.name, component[0], 1,
+            f"module-scope import cycle: {' <-> '.join(component)}; "
+            f"defer one direction into a function body")
+
+
+register_rule(LintRule(
+    name="layering",
+    description="numeric layers (arch/core/model/sim) must not import "
+                "the operational layers (dse/eval/opt/serve)",
+    checker=_check_layering,
+))
+
+register_rule(LintRule(
+    name="cycles",
+    description="no module-scope import cycles (back-references must "
+                "be deferred)",
+    checker=_check_cycles,
+))
+
+
+# ---------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------
+def _is_name(node: ast.expr, *names: str) -> bool:
+    return isinstance(node, ast.Name) and node.id in names
+
+
+def _check_determinism(rule: LintRule,
+                       ctx: CheckContext) -> Iterator[Violation]:
+    for module in ctx.modules():
+        for node in ast.walk(ctx.tree(module)):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    yield ctx.violation(
+                        rule.name, module, node.lineno,
+                        "import random functions via the module "
+                        "(`random.Random(seed)`) or use "
+                        "repro.utils.rng.seeded_rng; bare `from random "
+                        "import ...` hides unseeded call sites")
+                elif node.module == "numpy.random":
+                    yield ctx.violation(
+                        rule.name, module, node.lineno,
+                        "use repro.utils.rng.seeded_rng instead of "
+                        "importing numpy.random directly")
+            elif isinstance(node, ast.Attribute):
+                value = node.value
+                if (isinstance(value, ast.Attribute)
+                        and value.attr == "random"
+                        and _is_name(value.value, "np", "numpy")):
+                    yield ctx.violation(
+                        rule.name, module, node.lineno,
+                        f"np.random.{node.attr}: derive generators "
+                        f"from repro.utils.rng.seeded_rng so every "
+                        f"stream is reproducibly seeded")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if (func.attr in ("time", "time_ns")
+                        and _is_name(func.value, "time")):
+                    yield ctx.violation(
+                        rule.name, module, node.lineno,
+                        f"time.{func.attr}() breaks record determinism; "
+                        f"use time.perf_counter() for durations or "
+                        f"allowlist a genuine timestamp site")
+                elif (func.attr in ("now", "utcnow", "today")
+                        and (_is_name(func.value, "datetime", "date")
+                             or (isinstance(func.value, ast.Attribute)
+                                 and func.value.attr == "datetime"))):
+                    yield ctx.violation(
+                        rule.name, module, node.lineno,
+                        f"datetime.{func.attr}() reads the wall clock; "
+                        f"thread timestamps in explicitly")
+                elif _is_name(func.value, "random"):
+                    if func.attr == "Random" and (node.args
+                                                  or node.keywords):
+                        continue  # explicitly seeded generator: fine
+                    yield ctx.violation(
+                        rule.name, module, node.lineno,
+                        f"random.{func.attr}(): unseeded randomness; "
+                        f"construct random.Random(seed) or use "
+                        f"repro.utils.rng.seeded_rng")
+
+
+register_rule(LintRule(
+    name="determinism",
+    description="no wall-clock timestamps or unseeded randomness "
+                "outside allowlisted sites",
+    checker=_check_determinism,
+    allow=(
+        Allow("repro.utils.rng",
+              "the one sanctioned rng constructor: hashes tokens into "
+              "a seed for np.random.default_rng"),
+        Allow("repro.obs.tracer",
+              "trace events carry wall-clock `ts` fields by design; "
+              "they are observability metadata, never cached results"),
+        Allow("repro.dse.records",
+              "`created_at` is provenance metadata on store records, "
+              "excluded from keys and result payloads"),
+        Allow("repro.dse.gc",
+              "age-based eviction compares mtimes against now; the "
+              "clock is injectable (`now=`) and tests inject it"),
+        Allow("repro.dse.store",
+              "corrupt-line sidecar filenames embed a quarantine "
+              "timestamp so repeated compactions never collide"),
+    ),
+))
+
+
+# ---------------------------------------------------------------------
+# lock-discipline
+# ---------------------------------------------------------------------
+
+#: The only module allowed to touch fcntl: every other layer reaches
+#: the advisory lock through ResultStore's locked append/compact path.
+APPROVED_FCNTL = ("repro.dse.store",)
+
+#: Packages whose file writes must route through the locked store.
+WRITE_SCOPED_PACKAGES = ("repro.dse", "repro.opt", "repro.serve")
+
+_WRITE_MODES = frozenset("wax+")
+
+
+def _write_mode(call: ast.Call, mode_position: int) -> str | None:
+    """The constant write-ish mode string of an open() call, if any."""
+    mode: ast.expr | None = None
+    if len(call.args) > mode_position:
+        mode = call.args[mode_position]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if (isinstance(mode, ast.Constant) and isinstance(mode.value, str)
+            and _WRITE_MODES & set(mode.value)):
+        return mode.value
+    return None
+
+
+def _check_lock_discipline(rule: LintRule,
+                           ctx: CheckContext) -> Iterator[Violation]:
+    for module in ctx.modules():
+        in_scope = any(_in_package(module, package)
+                       for package in WRITE_SCOPED_PACKAGES)
+        store_exempt = module in APPROVED_FCNTL
+        for node in ast.walk(ctx.tree(module)):
+            if isinstance(node, ast.Import):
+                if (any(alias.name == "fcntl" for alias in node.names)
+                        and not store_exempt):
+                    yield ctx.violation(
+                        rule.name, module, node.lineno,
+                        f"fcntl imported outside {APPROVED_FCNTL}: all "
+                        f"advisory locking goes through the store's "
+                        f"locked append path")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "fcntl" and not store_exempt:
+                    yield ctx.violation(
+                        rule.name, module, node.lineno,
+                        f"fcntl imported outside {APPROVED_FCNTL}")
+            elif (isinstance(node, ast.Call) and in_scope
+                    and not store_exempt):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "open":
+                    mode = _write_mode(node, mode_position=1)
+                    if mode is not None:
+                        yield ctx.violation(
+                            rule.name, module, node.lineno,
+                            f"open(..., {mode!r}) in {module}: store-"
+                            f"layer writes must go through the locked "
+                            f"ResultStore append path")
+                elif isinstance(func, ast.Attribute):
+                    if func.attr == "open" and _is_name(func.value, "os"):
+                        yield ctx.violation(
+                            rule.name, module, node.lineno,
+                            f"os.open() in {module}: raw fds bypass "
+                            f"the store's advisory lock entirely")
+                    elif func.attr == "open":
+                        mode = _write_mode(node, mode_position=0)
+                        if mode is not None:
+                            yield ctx.violation(
+                                rule.name, module, node.lineno,
+                                f".open({mode!r}) in {module}: writes "
+                                f"must go through the locked ResultStore "
+                                f"append path")
+                    elif func.attr in ("write_text", "write_bytes"):
+                        yield ctx.violation(
+                            rule.name, module, node.lineno,
+                            f".{func.attr}() in {module}: writes must "
+                            f"go through the locked ResultStore append "
+                            f"path")
+
+
+register_rule(LintRule(
+    name="lock-discipline",
+    description="fcntl only in the store module; no write-mode file "
+                "opens in dse/opt/serve outside the locked append path",
+    checker=_check_lock_discipline,
+    allow=(
+        Allow("repro.dse.spec",
+              "CampaignSpec.save writes a spec JSON the user asked "
+              "for at the path they named -- not a store record, no "
+              "concurrent writers"),
+    ),
+))
+
+
+# ---------------------------------------------------------------------
+# frozen-mutation
+# ---------------------------------------------------------------------
+
+#: Constructor-shaped methods where frozen fields may still be shaped.
+FROZEN_MUTATION_SCOPES = frozenset(
+    {"__post_init__", "__init__", "__new__", "__setstate__"})
+
+
+def _check_frozen_mutation(rule: LintRule,
+                           ctx: CheckContext) -> Iterator[Violation]:
+    def walk(node: ast.AST, scope: str | None,
+             module: str) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            child_scope = scope
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_scope = child.name
+            if isinstance(child, ast.Call):
+                func = child.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr == "__setattr__"
+                        and _is_name(func.value, "object")
+                        and scope not in FROZEN_MUTATION_SCOPES):
+                    where = scope or "module scope"
+                    yield ctx.violation(
+                        rule.name, module, child.lineno,
+                        f"object.__setattr__ in {where}: frozen "
+                        f"dataclasses may only be shaped inside "
+                        f"{sorted(FROZEN_MUTATION_SCOPES)}")
+            yield from walk(child, child_scope, module)
+
+    for module in ctx.modules():
+        yield from walk(ctx.tree(module), None, module)
+
+
+register_rule(LintRule(
+    name="frozen-mutation",
+    description="object.__setattr__ only inside __post_init__-style "
+                "constructors",
+    checker=_check_frozen_mutation,
+))
+
+
+# ---------------------------------------------------------------------
+# obs-names
+# ---------------------------------------------------------------------
+
+#: The repro.obs entry points that take an event name first.
+_OBS_FUNCS = frozenset({"trace", "counter", "gauge", "observe"})
+
+#: Which registry each entry point's names live in.
+_NAME_SETS = {
+    "trace": ("span", SPAN_NAMES),
+    "observe": ("span", SPAN_NAMES),
+    "counter": ("counter", COUNTER_NAMES),
+    "incr": ("counter", COUNTER_NAMES),
+    "gauge": ("gauge", GAUGE_NAMES),
+}
+
+
+def _obs_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local names bound to repro.obs entry points in one module."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.ImportFrom) and node.level == 0
+                and node.module in ("repro.obs", "repro.obs.tracer")):
+            for alias in node.names:
+                if alias.name in _OBS_FUNCS:
+                    aliases[alias.asname or alias.name] = alias.name
+    return aliases
+
+
+def _obs_call_kind(node: ast.Call, aliases: dict[str, str],
+                   module: str) -> str | None:
+    """Which obs entry point (if any) a call targets."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return aliases.get(func.id)
+    if isinstance(func, ast.Attribute):
+        if (func.attr in _OBS_FUNCS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "obs"):
+            return func.attr
+        # ServeMetrics.incr mirrors into the same counter namespace.
+        if func.attr == "incr" and _in_package(module, "repro.serve"):
+            return "incr"
+    return None
+
+
+def _check_obs_names(rule: LintRule,
+                     ctx: CheckContext) -> Iterator[Violation]:
+    for module in ctx.modules():
+        tree = ctx.tree(module)
+        aliases = _obs_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = _obs_call_kind(node, aliases, module)
+            if kind is None or kind not in _NAME_SETS:
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            family, names = _NAME_SETS[kind]
+            if not (isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)):
+                yield ctx.violation(
+                    rule.name, module, node.lineno,
+                    f"non-literal {family} name passed to {kind}(); "
+                    f"emit registry names directly (or allowlist the "
+                    f"one aggregation site that fans out a table)")
+                continue
+            name = first.value
+            if not valid_grammar(name):
+                yield ctx.violation(
+                    rule.name, module, node.lineno,
+                    f"{family} name {name!r} violates the "
+                    f"layer.noun[.verb] grammar (2-3 lowercase "
+                    f"snake_case segments)")
+            elif name not in names:
+                yield ctx.violation(
+                    rule.name, module, node.lineno,
+                    f"{family} name {name!r} is not in the checked-in "
+                    f"registry (repro.analysis.obsnames); add it there "
+                    f"alongside the emit site")
+
+
+register_rule(LintRule(
+    name="obs-names",
+    description="span/counter/gauge name literals follow the "
+                "layer.noun[.verb] grammar and the checked-in registry",
+    checker=_check_obs_names,
+    allow=(
+        Allow("repro.dse.executor",
+              "the end-of-run accounting loop emits the dse.points.* "
+              "counter table from (name, value) pairs; every name in "
+              "the table is itself registered"),
+        Allow("repro.serve.metrics",
+              "ServeMetrics.incr mirrors its (registered, literal-"
+              "checked at the call sites) counter names into repro.obs "
+              "through one variable"),
+    ),
+))

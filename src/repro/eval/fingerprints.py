@@ -5,14 +5,86 @@ backend namespaces its store files by a digest of exactly the source
 feeding its numbers, so editing the analytical model (or the simulator
 datapath) invalidates that backend's stale caches automatically instead
 of silently serving results from an older implementation.
+
+Two digest strategies coexist:
+
+- the **default** (package-list) digests a hand-maintained set of
+  package trees per backend -- bit-identical to what every store on
+  disk was written under, so it stays the default;
+- the **dependency-cone** strategy (opt-in via
+  ``REPRO_CONE_FINGERPRINTS=1``) digests exactly the modules in the
+  backend entry points' import cone
+  (:meth:`repro.analysis.graph.ImportGraph.dependency_cone`).  The
+  cone is both *tighter* across layers -- an edit under ``repro.dse``
+  or ``repro.serve`` never rotates a backend namespace, because no
+  backend imports them -- and *safer* within them: helpers the static
+  package list misses (``repro.utils.bits`` feeds every bit-plane
+  codec) are in the cone, so editing them rotates the cache instead of
+  silently serving stale numbers.
+
+The flag changes namespaces (a one-time cold start when first
+enabled), never result bits; workers inherit it through the
+environment like ``REPRO_TRACE``.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 from functools import lru_cache
 from pathlib import Path
 from types import ModuleType
+
+#: Opt-in switch for dependency-cone namespacing (any value but
+#: ``""``/``"0"`` enables; inherited by worker processes).
+CONE_ENV = "REPRO_CONE_FINGERPRINTS"
+
+#: Entry points whose import cone feeds the analytical model's numbers.
+MODEL_CONE_ENTRIES = (
+    "repro.model", "repro.accelerators", "repro.sparsity",
+    "repro.workloads", "repro.core", "repro.arch",
+)
+
+#: Back-reference cut for the model cone: the deprecated
+#: ``Accelerator.evaluate_network`` shim lazily delegates *up* into
+#: ``repro.eval``, which would otherwise drag the eval/sim layers into
+#: the analytical model's namespace.  The eval layer's own source is
+#: not what the model backend's cached numbers are computed from.
+MODEL_CONE_PRUNE = ("repro.eval",)
+
+#: Entry points whose import cone feeds simulator-backed evaluations.
+SIM_CONE_ENTRIES = (
+    "repro.sim", "repro.workloads", "repro.sparsity", "repro.arch",
+    "repro.eval.lowering",
+)
+
+
+def cone_fingerprints_enabled() -> bool:
+    """Whether store namespaces derive from import cones."""
+    return os.environ.get(CONE_ENV, "") not in ("", "0")
+
+
+def cone_fingerprint(*entries: str, root: str | Path | None = None,
+                     prefix: str = "",
+                     prune: tuple[str, ...] = ()) -> str:
+    """Digest of every module in the entry points' dependency cone.
+
+    ``entries`` are modules or packages (``"repro.sim"`` seeds its
+    whole subtree); the digest covers the *transitive* import closure,
+    so it changes exactly when a file that can feed the entry points'
+    numbers changes.  ``root`` defaults to the installed tree; tests
+    pass a scratch copy to pin cone behavior under edits.  ``prune``
+    cuts intentional back-references out of the walk
+    (:meth:`repro.analysis.graph.ImportGraph.dependency_cone`).
+    """
+    from repro.analysis.graph import build_graph, repo_graph
+
+    graph = repo_graph() if root is None else build_graph(root)
+    digest = hashlib.sha256()
+    for name in sorted(graph.dependency_cone(*entries, prune=prune)):
+        digest.update(name.encode("utf-8"))
+        digest.update(graph.modules[name].path.read_bytes())
+    return prefix + digest.hexdigest()[:12]
 
 
 def _digest_tree(digest: "hashlib._Hash", package: ModuleType) -> None:
@@ -22,9 +94,11 @@ def _digest_tree(digest: "hashlib._Hash", package: ModuleType) -> None:
         digest.update(path.read_bytes())
 
 
-@lru_cache(maxsize=1)
-def code_fingerprint() -> str:
-    """Digest of the model/accelerator source feeding an evaluation."""
+@lru_cache(maxsize=2)
+def _code_fingerprint(cone: bool) -> str:
+    if cone:
+        return cone_fingerprint(*MODEL_CONE_ENTRIES,
+                                prune=MODEL_CONE_PRUNE)
     import repro.accelerators
     import repro.arch
     import repro.core
@@ -37,6 +111,11 @@ def code_fingerprint() -> str:
                     repro.workloads, repro.core, repro.arch):
         _digest_tree(digest, package)
     return digest.hexdigest()[:12]
+
+
+def code_fingerprint() -> str:
+    """Digest of the model/accelerator source feeding an evaluation."""
+    return _code_fingerprint(cone_fingerprints_enabled())
 
 
 def live_fingerprints() -> frozenset[str]:
@@ -56,7 +135,20 @@ def live_fingerprints() -> frozenset[str]:
         get_backend(name).fingerprint() for name in backend_names())
 
 
-@lru_cache(maxsize=1)
+@lru_cache(maxsize=2)
+def _opt_fingerprint(cone: bool) -> str:
+    import repro.models
+
+    digest = hashlib.sha256()
+    digest.update(_code_fingerprint(cone).encode("utf-8"))
+    if cone:
+        digest.update(
+            cone_fingerprint("repro.models").encode("utf-8"))
+    else:
+        _digest_tree(digest, repro.models)
+    return "opt-" + digest.hexdigest()[:12]
+
+
 def opt_fingerprint() -> str:
     """Digest namespacing the guided co-search's probe records.
 
@@ -67,23 +159,13 @@ def opt_fingerprint() -> str:
     executable networks and fidelity proxies feeding the accuracy side
     (:mod:`repro.models`) -- editing either invalidates the cache.
     """
-    import repro.models
-
-    digest = hashlib.sha256()
-    digest.update(code_fingerprint().encode("utf-8"))
-    _digest_tree(digest, repro.models)
-    return "opt-" + digest.hexdigest()[:12]
+    return _opt_fingerprint(cone_fingerprints_enabled())
 
 
-@lru_cache(maxsize=1)
-def sim_backend_fingerprint() -> str:
-    """Digest of the source feeding simulator-backed evaluations.
-
-    Covers the structural datapath, the hardware-description package
-    whose specs configure (and whose technology prices) it, the
-    workload tables and synthetic weights it streams, the sparsity
-    statistics behind the deviation metrics, and the lowering itself.
-    """
+@lru_cache(maxsize=2)
+def _sim_backend_fingerprint(cone: bool) -> str:
+    if cone:
+        return cone_fingerprint(*SIM_CONE_ENTRIES, prefix="simnet-")
     import repro.arch
     import repro.eval.lowering
     import repro.sim
@@ -95,3 +177,14 @@ def sim_backend_fingerprint() -> str:
         _digest_tree(digest, package)
     digest.update(Path(repro.eval.lowering.__file__).read_bytes())
     return "simnet-" + digest.hexdigest()[:12]
+
+
+def sim_backend_fingerprint() -> str:
+    """Digest of the source feeding simulator-backed evaluations.
+
+    Covers the structural datapath, the hardware-description package
+    whose specs configure (and whose technology prices) it, the
+    workload tables and synthetic weights it streams, the sparsity
+    statistics behind the deviation metrics, and the lowering itself.
+    """
+    return _sim_backend_fingerprint(cone_fingerprints_enabled())

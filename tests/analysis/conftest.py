@@ -1,0 +1,41 @@
+"""Fixtures for the static-analysis tests: synthetic package trees.
+
+The lint rules and the graph builder are exercised against tiny
+purpose-built trees written to ``tmp_path`` -- one good and one bad
+fixture per invariant -- so every rule is pinned by a seeded known-bad
+snippet it must reject, independent of what the real tree contains.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Mapping
+
+import pytest
+
+
+@pytest.fixture
+def make_tree(tmp_path: Path) -> Callable[[Mapping[str, str]], Path]:
+    """Write ``{relative/path.py: source}`` under a scratch root.
+
+    Returns the package root directory (the directory that plays the
+    role of ``src/repro``); missing ``__init__.py`` files for any
+    referenced package directory are created empty.
+    """
+
+    def write(files: Mapping[str, str]) -> Path:
+        root = tmp_path / "pkgroot"
+        for relative, source in files.items():
+            path = root / relative
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+        for directory in {p.parent for p in root.rglob("*.py")}:
+            current = directory
+            while current != root.parent:
+                init = current / "__init__.py"
+                if not init.exists():
+                    init.write_text("", encoding="utf-8")
+                current = current.parent
+        return root
+
+    return write

@@ -1,0 +1,308 @@
+"""Every lint rule pinned by good and known-bad fixture snippets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.engine import Allow, get_rule, run_checks
+
+
+def check(root, rule_name):
+    return run_checks(root=root, rules=(get_rule(rule_name),))
+
+
+def messages(report):
+    return [violation.message for violation in report.violations]
+
+
+class TestLayering:
+    def test_sim_importing_dse_rejected(self, make_tree):
+        root = make_tree({
+            "sim/kernel.py": "import repro.dse.store\n",
+            "dse/store.py": "",
+        })
+        report = check(root, "layering")
+        assert not report.ok
+        assert "repro.sim.kernel" in messages(report)[0]
+        assert "repro.dse.store" in messages(report)[0]
+
+    def test_deferred_import_still_rejected(self, make_tree):
+        root = make_tree({
+            "core/util.py": ("def lazy():\n"
+                             "    from repro.serve import app\n"),
+            "serve/app.py": "",
+        })
+        report = check(root, "layering")
+        assert not report.ok
+        assert "deferred import" in messages(report)[0]
+
+    def test_every_restricted_layer_guarded(self, make_tree):
+        root = make_tree({
+            "arch/a.py": "import repro.eval.core\n",
+            "core/b.py": "import repro.opt.search\n",
+            "model/c.py": "import repro.dse.spec\n",
+            "sim/d.py": "import repro.serve.app\n",
+            "eval/core.py": "", "opt/search.py": "",
+            "dse/spec.py": "", "serve/app.py": "",
+        })
+        report = check(root, "layering")
+        assert len(report.violations) == 4
+
+    def test_operational_layers_may_import_numeric(self, make_tree):
+        root = make_tree({
+            "eval/core.py": "import repro.sim.npu\n",
+            "dse/driver.py": "import repro.model.energy\n",
+            "sim/npu.py": "", "model/energy.py": "",
+        })
+        assert check(root, "layering").ok
+
+
+class TestCycles:
+    def test_module_scope_cycle_rejected(self, make_tree):
+        root = make_tree({
+            "a.py": "import repro.b\n",
+            "b.py": "import repro.a\n",
+        })
+        report = check(root, "cycles")
+        assert not report.ok
+        assert "repro.a <-> repro.b" in messages(report)[0]
+        assert report.violations[0].line == 1
+
+    def test_deferred_back_reference_accepted(self, make_tree):
+        root = make_tree({
+            "a.py": "import repro.b\n",
+            "b.py": ("def back():\n"
+                     "    import repro.a\n"),
+        })
+        assert check(root, "cycles").ok
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("snippet", [
+        "import time\nSTAMP = time.time()\n",
+        "import time\nSTAMP = time.time_ns()\n",
+        "import datetime\nNOW = datetime.datetime.now()\n",
+        "from datetime import datetime\nNOW = datetime.utcnow()\n",
+        "import numpy as np\nX = np.random.rand(3)\n",
+        "from random import random\n",
+        "from numpy.random import default_rng\n",
+        "import random\nX = random.random()\n",
+        "import random\nR = random.Random()\n",
+    ])
+    def test_wall_clock_and_unseeded_randomness_rejected(
+            self, make_tree, snippet):
+        root = make_tree({"mod.py": snippet})
+        assert not check(root, "determinism").ok
+
+    @pytest.mark.parametrize("snippet", [
+        "import time\nT0 = time.perf_counter()\n",
+        "import random\nR = random.Random(42)\n",
+        "import random\nR = random.Random(seed=7)\n",
+        "from repro.utils.rng import seeded_rng\n",
+    ])
+    def test_seeded_and_monotonic_sources_accepted(
+            self, make_tree, snippet):
+        root = make_tree({"mod.py": snippet})
+        assert check(root, "determinism").ok
+
+    def test_stale_allowlist_entry_reported(self, make_tree):
+        """A module that stopped triggering its exemption is flagged."""
+        root = make_tree({"utils/rng.py": "CLEAN = True\n"})
+        report = check(root, "determinism")
+        assert not report.ok
+        assert "stale allowlist entry" in messages(report)[0]
+        assert report.violations[0].module == "repro.utils.rng"
+
+    def test_allowlist_suppresses_and_counts(self, make_tree):
+        root = make_tree({
+            "utils/rng.py": "import numpy as np\nX = np.random.rand(3)\n",
+        })
+        report = check(root, "determinism")
+        assert report.ok
+        assert report.suppressed == 1
+
+
+class TestLockDiscipline:
+    def test_fcntl_outside_store_rejected(self, make_tree):
+        root = make_tree({"eval/locks.py": "import fcntl\n"})
+        assert not check(root, "lock-discipline").ok
+
+    def test_from_fcntl_import_rejected(self, make_tree):
+        root = make_tree({"sim/locks.py": "from fcntl import flock\n"})
+        assert not check(root, "lock-discipline").ok
+
+    def test_fcntl_in_store_accepted(self, make_tree):
+        root = make_tree({
+            "dse/store.py": ("import fcntl\n"
+                             "def append(path):\n"
+                             "    with open(path, 'a') as fh:\n"
+                             "        fh.write('x')\n"),
+        })
+        assert check(root, "lock-discipline").ok
+
+    @pytest.mark.parametrize("snippet", [
+        "def f(path):\n    open(path, 'w')\n",
+        "def f(path):\n    open(path, mode='a')\n",
+        "def f(path):\n    path.open('w')\n",
+        "def f(path):\n    path.write_text('x')\n",
+        "def f(path):\n    path.write_bytes(b'x')\n",
+        "import os\ndef f(path):\n    os.open(path, 0)\n",
+    ])
+    def test_writes_in_scoped_packages_rejected(self, make_tree, snippet):
+        root = make_tree({"dse/writer.py": snippet})
+        assert not check(root, "lock-discipline").ok
+
+    @pytest.mark.parametrize("module", ["dse/r.py", "opt/r.py",
+                                        "serve/r.py"])
+    def test_reads_in_scoped_packages_accepted(self, make_tree, module):
+        root = make_tree({
+            module: ("def f(path):\n"
+                     "    with open(path) as fh:\n"
+                     "        return fh.read()\n"),
+        })
+        assert check(root, "lock-discipline").ok
+
+    def test_writes_outside_scoped_packages_accepted(self, make_tree):
+        root = make_tree({
+            "eval/report.py": "def f(path):\n    open(path, 'w')\n",
+        })
+        assert check(root, "lock-discipline").ok
+
+
+class TestFrozenMutation:
+    def test_setattr_in_plain_method_rejected(self, make_tree):
+        root = make_tree({
+            "mod.py": ("class C:\n"
+                       "    def update(self):\n"
+                       "        object.__setattr__(self, 'x', 1)\n"),
+        })
+        report = check(root, "frozen-mutation")
+        assert not report.ok
+        assert "update" in messages(report)[0]
+
+    def test_setattr_at_module_scope_rejected(self, make_tree):
+        root = make_tree({
+            "mod.py": "object.__setattr__(object(), 'x', 1)\n",
+        })
+        report = check(root, "frozen-mutation")
+        assert not report.ok
+        assert "module scope" in messages(report)[0]
+
+    @pytest.mark.parametrize("scope", ["__post_init__", "__init__",
+                                       "__setstate__"])
+    def test_constructor_scopes_accepted(self, make_tree, scope):
+        root = make_tree({
+            "mod.py": (f"class C:\n"
+                       f"    def {scope}(self):\n"
+                       f"        object.__setattr__(self, 'x', 1)\n"),
+        })
+        assert check(root, "frozen-mutation").ok
+
+
+class TestObsNames:
+    def test_bad_grammar_rejected(self, make_tree):
+        root = make_tree({
+            "sim/x.py": ("from repro.obs import trace\n"
+                         "def f():\n"
+                         "    with trace('SimCompute'):\n"
+                         "        pass\n"),
+        })
+        report = check(root, "obs-names")
+        assert not report.ok
+        assert "grammar" in messages(report)[0]
+
+    def test_unregistered_name_rejected(self, make_tree):
+        root = make_tree({
+            "sim/x.py": ("from repro.obs import trace\n"
+                         "def f():\n"
+                         "    with trace('sim.not_registered'):\n"
+                         "        pass\n"),
+        })
+        report = check(root, "obs-names")
+        assert not report.ok
+        assert "registry" in messages(report)[0]
+
+    def test_registered_span_and_counter_accepted(self, make_tree):
+        root = make_tree({
+            "sim/x.py": ("from repro.obs import counter, trace\n"
+                         "def f():\n"
+                         "    with trace('sim.compute'):\n"
+                         "        counter('sim.kernel_dispatch')\n"),
+        })
+        assert check(root, "obs-names").ok
+
+    def test_aliased_import_still_checked(self, make_tree):
+        root = make_tree({
+            "sim/x.py": ("from repro.obs import trace as t\n"
+                         "def f():\n"
+                         "    with t('Bad'):\n"
+                         "        pass\n"),
+        })
+        assert not check(root, "obs-names").ok
+
+    def test_non_literal_name_rejected(self, make_tree):
+        root = make_tree({
+            "sim/x.py": ("from repro.obs import counter\n"
+                         "def f(name):\n"
+                         "    counter(name)\n"),
+        })
+        report = check(root, "obs-names")
+        assert not report.ok
+        assert "non-literal" in messages(report)[0]
+
+    def test_serve_incr_checked_against_counter_registry(self, make_tree):
+        root = make_tree({
+            "serve/x.py": ("def f(metrics):\n"
+                           "    metrics.incr('nope')\n"),
+        })
+        report = check(root, "obs-names")
+        assert not report.ok
+
+    def test_serve_incr_registered_name_accepted(self, make_tree):
+        root = make_tree({
+            "serve/x.py": ("def f(metrics):\n"
+                           "    metrics.incr('serve.http.errors')\n"),
+        })
+        assert check(root, "obs-names").ok
+
+    def test_incr_outside_serve_untracked(self, make_tree):
+        root = make_tree({
+            "eval/x.py": ("def f(metrics):\n"
+                          "    metrics.incr('nope')\n"),
+        })
+        assert check(root, "obs-names").ok
+
+    def test_empty_gauge_registry_rejects_all(self, make_tree):
+        root = make_tree({
+            "sim/x.py": ("from repro.obs import gauge\n"
+                         "def f():\n"
+                         "    gauge('sim.queue_depth', 1)\n"),
+        })
+        assert not check(root, "obs-names").ok
+
+
+class TestEngine:
+    def test_allow_requires_justification(self):
+        with pytest.raises(ValueError, match="justification"):
+            Allow("repro.x", "   ")
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            get_rule("nope")
+
+    def test_violations_sorted_and_counted(self, make_tree):
+        root = make_tree({
+            "sim/a.py": "import repro.dse.b\nimport time\nT = time.time()\n",
+            "dse/b.py": "",
+        })
+        report = run_checks(root=root)
+        assert [v.rule for v in report.violations] == [
+            "layering", "determinism"]
+        assert report.modules == len(
+            {"repro", "repro.sim", "repro.sim.a", "repro.dse",
+             "repro.dse.b"})
+
+    def test_full_run_on_real_tree_is_clean(self):
+        report = run_checks()
+        assert report.ok, [v.render() for v in report.violations]
+        assert report.suppressed > 0

@@ -1,0 +1,129 @@
+"""Dependency-cone fingerprints: tighter store namespaces, same bits.
+
+The headline property: with cone fingerprints enabled, an edit under
+``repro.dse`` (or any operational layer outside a backend's import
+cone) no longer rotates the ``sim`` store namespace, while an edit to
+the simulator datapath still does.  And with the flag off, the default
+package-list digests are bit-identical to what they were before the
+cone machinery existed.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.analysis.graph import default_root
+from repro.eval.fingerprints import (
+    CONE_ENV,
+    MODEL_CONE_ENTRIES,
+    MODEL_CONE_PRUNE,
+    SIM_CONE_ENTRIES,
+    code_fingerprint,
+    cone_fingerprint,
+    cone_fingerprints_enabled,
+    opt_fingerprint,
+    sim_backend_fingerprint,
+)
+
+
+@pytest.fixture
+def tree_copy(tmp_path):
+    """A scratch copy of the installed tree, safe to edit."""
+    root = tmp_path / "repro"
+    shutil.copytree(default_root(), root)
+    return root
+
+
+def touch(root, relative):
+    path = root / relative
+    assert path.exists(), relative
+    path.write_text(path.read_text(encoding="utf-8")
+                    + "\n# cache-buster\n", encoding="utf-8")
+
+
+class TestConeFingerprint:
+    def test_dse_edit_leaves_sim_namespace_alone(self, tree_copy):
+        """The acceptance property: a ``dse``-only edit no longer
+        rotates the simulator backend's cache namespace."""
+        before = cone_fingerprint(*SIM_CONE_ENTRIES, root=tree_copy,
+                                  prefix="simnet-")
+        touch(tree_copy, "dse/executor.py")
+        touch(tree_copy, "serve/service.py")
+        after = cone_fingerprint(*SIM_CONE_ENTRIES, root=tree_copy,
+                                 prefix="simnet-")
+        assert before == after
+
+    def test_sim_edit_rotates_sim_namespace(self, tree_copy):
+        before = cone_fingerprint(*SIM_CONE_ENTRIES, root=tree_copy)
+        touch(tree_copy, "sim/npu.py")
+        assert cone_fingerprint(*SIM_CONE_ENTRIES,
+                                root=tree_copy) != before
+
+    def test_cone_helper_edit_rotates_namespace(self, tree_copy):
+        """Shared helpers inside the cone count -- the cone is safer
+        than the hand-maintained package list, not just tighter."""
+        before = cone_fingerprint(*SIM_CONE_ENTRIES, root=tree_copy)
+        touch(tree_copy, "arch/spec.py")
+        assert cone_fingerprint(*SIM_CONE_ENTRIES,
+                                root=tree_copy) != before
+
+    def test_model_cone_ignores_sim_edits(self, tree_copy):
+        """With the deprecated evaluate_network back-reference pruned,
+        the analytical model's namespace ignores simulator edits."""
+        before = cone_fingerprint(*MODEL_CONE_ENTRIES, root=tree_copy,
+                                  prune=MODEL_CONE_PRUNE)
+        touch(tree_copy, "sim/npu.py")
+        touch(tree_copy, "eval/lowering.py")
+        assert cone_fingerprint(*MODEL_CONE_ENTRIES, root=tree_copy,
+                                prune=MODEL_CONE_PRUNE) == before
+
+    def test_prefix_prepended(self, tree_copy):
+        plain = cone_fingerprint("repro.sim", root=tree_copy)
+        prefixed = cone_fingerprint("repro.sim", root=tree_copy,
+                                    prefix="simnet-")
+        assert prefixed == "simnet-" + plain
+        assert len(plain) == 12
+
+
+class TestFlag:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(CONE_ENV, raising=False)
+        assert not cone_fingerprints_enabled()
+        monkeypatch.setenv(CONE_ENV, "0")
+        assert not cone_fingerprints_enabled()
+        monkeypatch.setenv(CONE_ENV, "1")
+        assert cone_fingerprints_enabled()
+
+    def test_flag_switches_every_backend_namespace(self, monkeypatch):
+        monkeypatch.delenv(CONE_ENV, raising=False)
+        static = (code_fingerprint(), sim_backend_fingerprint(),
+                  opt_fingerprint())
+        monkeypatch.setenv(CONE_ENV, "1")
+        cone = (code_fingerprint(), sim_backend_fingerprint(),
+                opt_fingerprint())
+        assert all(a != b for a, b in zip(static, cone))
+        assert cone[1].startswith("simnet-")
+        assert cone[2].startswith("opt-")
+
+    def test_default_digests_survive_flag_round_trip(self, monkeypatch):
+        """Toggling the flag never perturbs the default namespaces --
+        stores written before the flag existed stay reachable."""
+        monkeypatch.delenv(CONE_ENV, raising=False)
+        before = (code_fingerprint(), sim_backend_fingerprint(),
+                  opt_fingerprint())
+        monkeypatch.setenv(CONE_ENV, "1")
+        code_fingerprint(), sim_backend_fingerprint(), opt_fingerprint()
+        monkeypatch.delenv(CONE_ENV, raising=False)
+        assert (code_fingerprint(), sim_backend_fingerprint(),
+                opt_fingerprint()) == before
+
+    def test_registered_backends_follow_the_flag(self, monkeypatch):
+        from repro.eval.registry import get_backend
+
+        monkeypatch.delenv(CONE_ENV, raising=False)
+        static = get_backend("model").fingerprint()
+        monkeypatch.setenv(CONE_ENV, "1")
+        assert get_backend("model").fingerprint() != static
+        assert get_backend("model").fingerprint() == code_fingerprint()
